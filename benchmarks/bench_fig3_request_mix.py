@@ -1,0 +1,34 @@
+"""Figure 3: the CarTel web benchmark request distribution.
+
+Verifies (and prints) that the load generator's empirical mix matches
+the paper's table, and benchmarks the sampling hot path.
+"""
+
+import random
+
+from repro.bench import ReportTable
+from repro.workloads import REQUEST_MIX, empirical_mix, sample_request
+
+from .common import report
+
+PAPER_MIX = {
+    "/get_cars.php": 0.50,
+    "/cars.php": 0.30,
+    "/drives.php": 0.08,
+    "/drives_top.php": 0.08,
+    "/friends.php": 0.03,
+    "/edit_account.php": 0.01,
+}
+
+
+def test_fig3_request_mix(benchmark):
+    rng = random.Random(42)
+    benchmark(lambda: sample_request(rng))
+
+    table = ReportTable(
+        "Figure 3 — CarTel request mix (paper freq vs generator freq)",
+        ["request", "paper", "generated"])
+    for path, observed in empirical_mix(60000, seed=1):
+        table.add(path, "%.2f" % PAPER_MIX[path], "%.3f" % observed)
+        assert abs(observed - PAPER_MIX[path]) < 0.01
+    report(table)

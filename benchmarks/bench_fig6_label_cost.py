@@ -1,0 +1,128 @@
+"""Figure 6: DBT-2 (TPC-C) throughput vs tags per label.
+
+The paper ran an in-memory database (10 warehouses, right axis) and an
+on-disk database (150 warehouses, left axis), with every tuple carrying
+0-10 tags.  Each tag cost ~0.6% of throughput in memory and ~1% on
+disk, because labels add 4 bytes/tag to every tuple, shrinking
+tuples-per-page and increasing I/O and cache pressure (section 8.3).
+
+Here the same mechanism is exercised at laptop scale: the in-memory
+configuration uses an unbounded buffer cache, the on-disk configuration
+a small cache with a per-miss I/O penalty.  NOTPM is computed against
+wall time plus simulated I/O time.  Expected shape: NOTPM falls roughly
+linearly with tags/label, with a steeper relative slope on disk, and a
+flat baseline.
+"""
+
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.bench import ReportTable
+from repro.workloads import TPCCConfig, TPCCWorkload
+
+from .common import report
+
+TAG_POINTS = (0, 2, 4, 6, 8, 10)
+TXNS = 400
+MEM = {"buffer_pages": None, "io_penalty": 0.0}
+DISK = {"buffer_pages": 96, "io_penalty": 0.0005, "page_size": 2048}
+
+
+def _notpm(*, ifc_enabled: bool, tags: int, storage: dict) -> float:
+    """Best-of-two NOTPM (minimizes GC/scheduler interference)."""
+    import gc
+    db = Database(ifc_enabled=ifc_enabled, seed=13, **storage)
+    config = TPCCConfig(warehouses=2, districts_per_warehouse=3,
+                        customers_per_district=20, items=100,
+                        initial_orders_per_district=10,
+                        tags_per_label=tags, seed=13)
+    workload = TPCCWorkload(db, config)
+    workload.load()
+    workload.run(50)                              # warm plan/parse caches
+    best = 0.0
+    for _round in range(2):
+        db.buffer_cache.reset()
+        commits_before = workload.stats.new_order_commits
+        gc.collect()
+        start = time.perf_counter()
+        workload.run(TXNS)
+        wall = time.perf_counter() - start
+        effective = wall + db.buffer_cache.stats.io_time
+        commits = workload.stats.new_order_commits - commits_before
+        best = max(best, commits / (effective / 60.0))
+    return best
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {"memory": {}, "disk": {}}
+    results["memory"]["baseline"] = _notpm(ifc_enabled=False, tags=0,
+                                           storage=MEM)
+    results["disk"]["baseline"] = _notpm(ifc_enabled=False, tags=0,
+                                         storage=DISK)
+    for tags in TAG_POINTS:
+        results["memory"][tags] = _notpm(ifc_enabled=True, tags=tags,
+                                         storage=MEM)
+        results["disk"][tags] = _notpm(ifc_enabled=True, tags=tags,
+                                       storage=DISK)
+    return results
+
+
+def test_fig6_label_cost(benchmark, sweep):
+    table = ReportTable(
+        "Figure 6 — DBT-2 NOTPM vs tags/label "
+        "(paper slope: ~-0.6%/tag memory, ~-1%/tag disk)",
+        ["tags/label", "in-memory NOTPM", "rel", "on-disk NOTPM", "rel"])
+    mem0 = sweep["memory"][0]
+    disk0 = sweep["disk"][0]
+    table.add("baseline (no IFC)",
+              "%.0f" % sweep["memory"]["baseline"],
+              "%.3f" % (sweep["memory"]["baseline"] / mem0),
+              "%.0f" % sweep["disk"]["baseline"],
+              "%.3f" % (sweep["disk"]["baseline"] / disk0))
+    for tags in TAG_POINTS:
+        table.add(tags, "%.0f" % sweep["memory"][tags],
+                  "%.3f" % (sweep["memory"][tags] / mem0),
+                  "%.0f" % sweep["disk"][tags],
+                  "%.3f" % (sweep["disk"][tags] / disk0))
+    mem_slope = _fit_per_tag_cost({t: sweep["memory"][t]
+                                   for t in TAG_POINTS})
+    disk_slope = _fit_per_tag_cost({t: sweep["disk"][t]
+                                    for t in TAG_POINTS})
+    table.add("per-tag cost (fit)", "%.2f%%" % (100 * mem_slope), "",
+              "%.2f%%" % (100 * disk_slope), "")
+    report(table)
+
+    # Shape assertions.  The disk configuration's per-tag cost is driven
+    # by the deterministic page model and must be clearly positive and
+    # larger than the in-memory cost; the in-memory per-tag cost is well
+    # under 2% per tag (paper: 0.6%) and may sit inside CPU-timing noise,
+    # so it is only required not to be a material *improvement*.
+    assert sweep["disk"][10] < sweep["disk"][0] * 0.95
+    assert disk_slope > 0.01
+    assert disk_slope > mem_slope
+    assert mem_slope > -0.01
+
+
+def _fit_per_tag_cost(points) -> float:
+    """Least-squares slope of relative NOTPM per tag (sign-flipped so a
+    positive value means 'each tag costs this fraction')."""
+    xs = sorted(points)
+    base = points[xs[0]]
+    ys = [points[x] / base for x in xs]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return -(cov / var)
+
+    # pytest-benchmark: one labelled new-order transaction.
+    db = Database(seed=14)
+    workload = TPCCWorkload(db, TPCCConfig(
+        warehouses=1, districts_per_warehouse=2, customers_per_district=10,
+        items=50, initial_orders_per_district=5, tags_per_label=2, seed=14))
+    workload.load()
+    benchmark(workload.txn_new_order)

@@ -1,0 +1,52 @@
+"""Section 8.2.2: sensor data processing throughput.
+
+Replays GPS measurements as fast as possible (200 inserts per
+transaction, two derived-state triggers per insert).  Paper: PostgreSQL
+2479 vs IFDB 2439 measurements/s — a 1.6% penalty for labelling data
+and storing labels.  Expected shape: a single-digit-percent penalty.
+"""
+
+from repro.bench import ReportTable, measure_ingest_pair, relative
+
+from .common import report
+
+PAPER_BASE = 2479.0
+PAPER_IFDB = 2439.0
+N_MEASUREMENTS = 3000
+
+
+def test_sensor_ingest_throughput(benchmark):
+    base, ifdb = measure_ingest_pair(measurements=N_MEASUREMENTS)
+
+    table = ReportTable(
+        "Section 8.2.2 — sensor ingest throughput (measurements/s)",
+        ["system", "paper", "measured", "delta vs base"])
+    table.add("PostgreSQL / baseline", "%.0f" % PAPER_BASE,
+              "%.0f" % base, "")
+    table.add("IFDB", "%.0f" % PAPER_IFDB, "%.0f" % ifdb,
+              relative(ifdb, base))
+    table.add("paper overhead", "-1.6%", "", "")
+    report(table)
+
+    # Shape: IFDB within 15% of baseline (paper: 1.6%).
+    assert ifdb < base * 1.02            # labels are never free
+    assert ifdb > base * 0.85
+
+    # pytest-benchmark: time one 200-insert batch on the IFDB stack.
+    from repro.bench import build_cartel_stack
+    from repro.apps.cartel import SensorProcessor, TraceGenerator
+    from repro.core.process import IFCProcess
+    stack = build_cartel_stack(ifc_enabled=True, n_users=3,
+                               cars_per_user=1, measurements=100, seed=55)
+    probe = IFCProcess(stack.app.authority, stack.app.ingestd.id)
+    probe.add_secrecy(stack.app.all_drives.id)
+    car_ids = [r[0] for r in stack.db.connect(probe).query(
+        "SELECT carid FROM Cars")]
+    generator = TraceGenerator(car_ids, seed=56, start_ts=9_000_000.0)
+    processor = SensorProcessor(stack.app)
+    batches = iter(lambda: list(generator.measurements(200)), None)
+
+    def one_batch():
+        processor.process_measurements(next(batches))
+
+    benchmark.pedantic(one_batch, rounds=5, iterations=1)

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+``report`` writes each paper-vs-measured table to stdout and, because
+pytest's default fd-level capture swallows stdout for passing tests, to
+``benchmarks/results.txt`` — the authoritative copy, regenerated on
+every benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def report(table) -> None:
+    text = table.render() if hasattr(table, "render") else str(table)
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's medical-records walkthrough (Figure 2, sections 4.2 and
+5.2): per-patient tags, polyinstantiation, label constraints, and the
+foreign-key probing channel.
+
+Run:  python examples/medical_records.py
+"""
+
+from repro import AuthorityState, Database, IFCProcess
+from repro.errors import (
+    ForeignKeyViolation,
+    IFCViolation,
+    UniqueViolation,
+)
+
+
+def main() -> None:
+    authority = AuthorityState()
+    clinic = authority.create_principal("clinic")
+    all_medical = authority.create_compound_tag("all_medical",
+                                                owner=clinic.id)
+
+    db = Database(authority)
+    admin = db.connect(IFCProcess(authority, clinic.id))
+    admin.execute(
+        "CREATE TABLE HIVPatients (patient_name TEXT, patient_dob TEXT, "
+        "notes TEXT, PRIMARY KEY (patient_name, patient_dob))")
+    admin.execute(
+        "CREATE TABLE HIVRecords (recid INT PRIMARY KEY, "
+        "patient_name TEXT, patient_dob TEXT, "
+        "FOREIGN KEY (patient_name, patient_dob) "
+        "REFERENCES HIVPatients(patient_name, patient_dob))")
+
+    # Per-patient tags, owned by each patient (Figure 2's labels).
+    patients = {}
+    for name, dob in (("Alice", "2/1/60"), ("Bob", "6/26/78"),
+                      ("Cathy", "4/22/71")):
+        principal = authority.create_principal(name.lower())
+        tag = authority.create_tag("%s_medical" % name.lower(),
+                                   owner=principal.id,
+                                   compounds=(all_medical.id,),
+                                   creator=clinic.id)
+        process = IFCProcess(authority, principal.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        session.execute("INSERT INTO HIVPatients VALUES (?, ?, 'hiv')",
+                        (name, dob))
+        patients[name] = (principal, tag)
+
+    # --- Query by Label (section 4.2) --------------------------------
+    bob_principal, bob_tag = patients["Bob"]
+    bob = IFCProcess(authority, bob_principal.id)
+    bob_session = db.connect(bob)
+    bob.add_secrecy(bob_tag.id)
+    print("Bob's query with {bob_medical}:",
+          [list(r)[:2] for r in bob_session.query(
+              "SELECT * FROM HIVPatients WHERE patient_name = 'Bob'")])
+
+    empty = db.connect(IFCProcess(authority, clinic.id))
+    print("Same query, empty label:   ",
+          empty.query("SELECT * FROM HIVPatients "
+                      "WHERE patient_name = 'Bob'"))
+
+    # --- The three inserts of section 5.2.1 -----------------------------
+    dan = authority.create_principal("dan")
+    dan_tag = authority.create_tag("dan_medical", owner=dan.id)
+    dan_process = IFCProcess(authority, dan.id)
+    dan_session = db.connect(dan_process)
+    dan_process.add_secrecy(dan_tag.id)
+    dan_session.execute(
+        "INSERT INTO HIVPatients VALUES ('Dan', '8/12/69', 'hiv')")
+    print("Insert 1 (new key, any label): ok")
+
+    alice_principal, alice_tag = patients["Alice"]
+    alice = IFCProcess(authority, alice_principal.id)
+    alice_session = db.connect(alice)
+    alice.add_secrecy(alice_tag.id)
+    try:
+        alice_session.execute(
+            "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60', 'dup')")
+    except UniqueViolation:
+        print("Insert 2 (visible conflict): UniqueViolation, reveals "
+              "nothing new")
+
+    # Insert 3: the problematic one — conflicting tuple is INVISIBLE.
+    empty.execute(
+        "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60', 'routine')")
+    print("Insert 3 (invisible conflict): accepted -> polyinstantiation")
+    print("  low-label view of Alice: ",
+          [r[2] for r in empty.query(
+              "SELECT * FROM HIVPatients WHERE patient_name='Alice'")])
+    print("  high-label view of Alice:",
+          [r[2] for r in alice_session.query(
+              "SELECT * FROM HIVPatients WHERE patient_name='Alice'")])
+    print("  exact-label filter:      ",
+          [r[2] for r in alice_session.query(
+              "SELECT * FROM HIVPatients WHERE patient_name='Alice' AND "
+              "LABEL_CONTAINS(_label, 'alice_medical')")])
+
+    # --- The foreign-key probing channel (section 5.2.2) -----------------
+    probe = db.connect(IFCProcess(authority, clinic.id))
+    try:
+        probe.execute("INSERT INTO HIVRecords VALUES (1, 'Bob', '6/26/78')")
+    except (IFCViolation, ForeignKeyViolation) as error:
+        print("FK probe with empty label ->", type(error).__name__,
+              "(membership not disclosed)")
+    # The clinic holds the compound; it may vouch explicitly:
+    probe.execute(
+        "INSERT INTO HIVRecords VALUES (1, 'Bob', '6/26/78') "
+        "DECLASSIFYING (bob_medical)")
+    print("FK insert with DECLASSIFYING(bob_medical) by the clinic: ok")
+
+
+if __name__ == "__main__":
+    main()

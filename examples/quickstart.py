@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: tags, labels, Query by Label, and declassification.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AuthorityState, Database, IFCProcess
+from repro.errors import AuthorityError, IFCViolation
+
+
+def main() -> None:
+    # 1. The authority state: principals own tags; tags protect data.
+    authority = AuthorityState()
+    alice = authority.create_principal("alice")
+    bob = authority.create_principal("bob")
+    alice_tag = authority.create_tag("alice-secrets", owner=alice.id)
+
+    # 2. A database and a session bound to Alice's IFC process.
+    db = Database(authority)
+    process = IFCProcess(authority, alice.id)
+    session = db.connect(process)
+    session.execute("CREATE TABLE Notes (id INT PRIMARY KEY, body TEXT)")
+
+    # 3. Raise the label, write sensitive data.  Inserted tuples carry
+    #    exactly the process label (the Write Rule).
+    process.add_secrecy(alice_tag.id)
+    session.execute("INSERT INTO Notes VALUES (1, 'my diary entry')")
+    print("Alice (contaminated) sees:",
+          [list(r) for r in session.query("SELECT * FROM Notes")])
+
+    # 4. Another process with an empty label sees nothing — Query by
+    #    Label filters, it never errors or reveals.
+    bob_session = db.connect(IFCProcess(authority, bob.id))
+    print("Bob (empty label) sees:   ",
+          bob_session.query("SELECT * FROM Notes"))
+
+    # 5. Bob can contaminate himself and read, but then he is stuck: he
+    #    has no authority to declassify, so he can't release anything.
+    bob_process = IFCProcess(authority, bob.id)
+    bob_session = db.connect(bob_process)
+    bob_process.add_secrecy(alice_tag.id)
+    rows = bob_session.query("SELECT body FROM Notes")
+    print("Bob (contaminated) reads: ", [r[0] for r in rows])
+    print("Bob may release to the outside world?",
+          bob_process.can_release())
+    try:
+        bob_process.declassify(alice_tag.id)
+    except AuthorityError as error:
+        print("Bob declassify ->", error)
+
+    # 6. Alice delegates; now Bob can declassify and release.
+    alice_clean = IFCProcess(authority, alice.id)
+    alice_clean.delegate(alice_tag.id, bob.id)
+    bob_process.declassify(alice_tag.id)
+    print("After delegation, Bob may release?", bob_process.can_release())
+
+    # 7. The covert-channel transaction of section 5.1 is blocked by the
+    #    transaction commit label.
+    sneaky = IFCProcess(authority, bob.id)
+    sneaky_session = db.connect(sneaky)
+    sneaky_session.execute("BEGIN")
+    sneaky_session.execute("INSERT INTO Notes VALUES (2, 'public marker')")
+    sneaky.add_secrecy(alice_tag.id)           # read something secret...
+    sneaky_session.query("SELECT * FROM Notes")
+    try:
+        sneaky_session.commit()                 # ...then try to commit low
+    except IFCViolation as error:
+        print("Commit-label rule ->", type(error).__name__, "(blocked)")
+
+
+if __name__ == "__main__":
+    main()

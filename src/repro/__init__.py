@@ -1,0 +1,84 @@
+"""IFDB: decentralized information flow control for databases.
+
+A full-stack Python reproduction of Schultz & Liskov (EuroSys 2013):
+the DIFC model (:mod:`repro.core`), a relational engine with Query by
+Label enforcement (:mod:`repro.db`), a SQL dialect with the IFDB
+extensions (:mod:`repro.sql`), an IFC-aware application platform
+(:mod:`repro.platform`), the CarTel and HotCRP case-study applications
+(:mod:`repro.apps`), and the paper's benchmark workloads
+(:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import AuthorityState, Database, IFCProcess
+
+    authority = AuthorityState()
+    alice = authority.create_principal("alice")
+    tag = authority.create_tag("alice_medical", owner=alice.id)
+
+    db = Database(authority)
+    process = IFCProcess(authority, alice.id)
+    session = db.connect(process)
+    session.execute("CREATE TABLE Patients (name TEXT PRIMARY KEY)")
+
+    process.add_secrecy(tag.id)          # raise the label, then write
+    session.execute("INSERT INTO Patients VALUES ('Alice')")
+    process.declassify(tag.id)           # needs authority for the tag
+"""
+
+from .core import (
+    EMPTY_LABEL,
+    AuthorityState,
+    Closure,
+    IFCProcess,
+    Label,
+    SeededIdGenerator,
+)
+from .db import Database, Session, TableSchema
+from .errors import (
+    AuthorityError,
+    CheckViolation,
+    ClearanceError,
+    DatabaseError,
+    ForeignKeyViolation,
+    IFCError,
+    IFCViolation,
+    IntegrityError,
+    LabelConstraintViolation,
+    ReleaseError,
+    ReproError,
+    SerializationError,
+    SQLSyntaxError,
+    TransactionError,
+    UniqueViolation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthorityError",
+    "AuthorityState",
+    "CheckViolation",
+    "ClearanceError",
+    "Closure",
+    "Database",
+    "DatabaseError",
+    "EMPTY_LABEL",
+    "ForeignKeyViolation",
+    "IFCError",
+    "IFCProcess",
+    "IFCViolation",
+    "IntegrityError",
+    "Label",
+    "LabelConstraintViolation",
+    "ReleaseError",
+    "ReproError",
+    "SQLSyntaxError",
+    "SeededIdGenerator",
+    "SerializationError",
+    "Session",
+    "TableSchema",
+    "TransactionError",
+    "UniqueViolation",
+    "__version__",
+]

@@ -1,0 +1,2 @@
+"""The paper's case-study applications, ported to the IFC platform:
+CarTel (section 6.1) and HotCRP (section 6.2)."""

@@ -1,0 +1,30 @@
+"""CarTel (section 6.1): the mobile sensor network case study.
+
+Construction order::
+
+    app = CarTelApp(db, runtime)          # schema + authority schema
+    install_driveupdate_trigger(app)      # the closure trigger
+    web = build_portal(app)               # the seven portal scripts
+
+Then create accounts with ``app.signup``/``app.add_car``/``app.befriend``
+and feed GPS data through :class:`SensorProcessor`.
+"""
+
+from .data import DRIVE_GAP, Measurement, TraceGenerator, euclid_km
+from .ingest import BATCH_SIZE, SensorProcessor, install_driveupdate_trigger
+from .portal import build_portal
+from .schema import CarTelApp, drives_tag_name, location_tag_name
+
+__all__ = [
+    "BATCH_SIZE",
+    "CarTelApp",
+    "DRIVE_GAP",
+    "Measurement",
+    "SensorProcessor",
+    "TraceGenerator",
+    "build_portal",
+    "drives_tag_name",
+    "euclid_km",
+    "install_driveupdate_trigger",
+    "location_tag_name",
+]

@@ -1,0 +1,183 @@
+"""GPS ingest: the write path of section 8.2.2.
+
+For each measurement a tuple is inserted into ``Locations`` and two
+pieces of derived state are maintained by the ``driveupdate`` closure
+trigger: ``LocationsLatest`` (upsert of the car's current position) and
+``Drives`` (segment extension or new segment).  CarTel batches 200
+inserts per transaction "partly to compensate for the lack of group
+commit in PostgreSQL"; the batch size is preserved here.
+
+The trigger runs as a **stored authority closure** bound to a principal
+holding authority for ``all_locations`` only: it reads raw locations and
+writes drives *without contaminating the inserting process* and without
+the ability to declassify anyone's drives tag (section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...core.process import IFCProcess
+from ...db.catalog import AFTER
+from .data import DRIVE_GAP, Measurement, euclid_km
+from .schema import CarTelApp, drives_tag_name, location_tag_name
+
+#: Inserts per transaction, as in the paper (section 8.2.2).
+BATCH_SIZE = 200
+
+
+def install_driveupdate_trigger(app: CarTelApp) -> None:
+    """Create the closure principal and register the trigger.
+
+    The closure's authority: ``all_locations`` delegated from the cartel
+    service.  Notably *not* ``all_drives`` — the trigger can remove
+    location tags from its label but can never declassify drive history.
+    """
+    authority = app.authority
+    closure_principal = authority.create_principal("closure:driveupdate")
+    authority.delegate(app.all_locations.id, app.cartel.id,
+                       closure_principal.id)
+
+    def driveupdate(ctx):
+        """AFTER INSERT ON Locations: maintain LocationsLatest and Drives.
+
+        Acting label on entry = the statement label
+        ``{u-drives, u-location}``.
+        """
+        new = ctx.new
+        carid = new["carid"]
+        session = ctx.session
+        # LocationsLatest carries the same label as the raw measurement.
+        updated = session.execute(
+            "UPDATE LocationsLatest SET lat = ?, lon = ?, speed = ?, ts = ? "
+            "WHERE carid = ?",
+            (new["lat"], new["lon"], new["speed"], new["ts"], carid))
+        if updated.rowcount == 0:
+            # The FK to Cars ({u-drives}) differs by the location tag,
+            # which the closure may (and must) name explicitly.
+            owner = session.execute(
+                "SELECT userid FROM Cars WHERE carid = ?", (carid,)).scalar()
+            session.insert(
+                "LocationsLatest",
+                declassifying=(location_tag_name(owner),),
+                carid=carid, lat=new["lat"], lon=new["lon"],
+                speed=new["speed"], ts=new["ts"])
+
+        # Drives are labelled {u-drives}: drop the location tag, which
+        # the closure is authoritative for.
+        owner = session.execute(
+            "SELECT userid FROM Cars WHERE carid = ?", (carid,)).scalar()
+        location_tag = session.db.authority.tags.lookup(
+            location_tag_name(owner))
+        ctx.declassify(location_tag.id)
+
+        last = session.execute(
+            "SELECT driveid, end_ts FROM Drives WHERE carid = ? "
+            "ORDER BY end_ts DESC LIMIT 1",
+            (carid,)).first()
+        if last is not None and new["ts"] - last["end_ts"] <= DRIVE_GAP:
+            # Extend the open drive.  The distance increment uses the
+            # previous raw point, which the trigger read before
+            # declassifying — its own state, not a new read.
+            increment = ctx.state.get("last_point_km", 0.5)
+            session.execute(
+                "UPDATE Drives SET end_ts = ?, distance = distance + ?, "
+                "npoints = npoints + 1 WHERE driveid = ?",
+                (new["ts"], increment, last["driveid"]))
+        else:
+            driveid = session.db.next_sequence("drives")
+            session.insert(
+                "Drives", driveid=driveid, carid=carid,
+                start_ts=new["ts"], end_ts=new["ts"], distance=0.0,
+                npoints=1)
+
+    app.db.create_trigger(
+        "driveupdate", "Locations", "insert", AFTER, _with_state(driveupdate),
+        closure_principal=closure_principal.id)
+    app.driveupdate_principal = closure_principal
+
+
+def _with_state(fn):
+    """Give the trigger a scratch dict on the context (segment memory)."""
+    def wrapper(ctx):
+        ctx.state = {}
+        key = (id(ctx.session.db), ctx.new["carid"])
+        prev = _PREV_POINTS.get(key)
+        if prev is not None:
+            ctx.state["last_point_km"] = euclid_km(
+                prev[0], prev[1], ctx.new["lat"], ctx.new["lon"])
+        _PREV_POINTS[key] = (ctx.new["lat"], ctx.new["lon"])
+        return fn(ctx)
+    return wrapper
+
+
+#: Previous raw point per (database, car) — the closure's working memory.
+_PREV_POINTS = {}
+
+
+class SensorProcessor:
+    """The trusted ingest daemon: labels measurements as they arrive.
+
+    This is part of the ~50 trusted labelling lines (section 6.3): it
+    holds authority for both compounds so it can lower its label between
+    measurements for different users and commit with an empty label
+    (the transaction commit-label rule, section 5.1).
+    """
+
+    def __init__(self, app: CarTelApp, *, batch_size: int = BATCH_SIZE):
+        self.app = app
+        self.batch_size = batch_size
+        self.process = IFCProcess(app.authority, app.ingestd.id)
+        self.session = app.db.connect(self.process)
+        self._car_owner_cache = {}
+        self.measurements_processed = 0
+
+    def _owner_of(self, carid: int) -> int:
+        owner = self._car_owner_cache.get(carid)
+        if owner is None:
+            probe = IFCProcess(self.app.authority, self.app.ingestd.id)
+            probe_session = self.app.db.connect(probe)
+            probe.add_secrecy(self.app.all_drives.id)
+            owner = probe_session.execute(
+                "SELECT userid FROM Cars WHERE carid = ?", (carid,)).scalar()
+            if owner is None:
+                raise KeyError("no car %d registered" % carid)
+            self._car_owner_cache[carid] = owner
+        return owner
+
+    def process_measurements(self, measurements: Iterable[Measurement]) -> int:
+        """Replay measurements into the database, 200 per transaction."""
+        count = 0
+        batch = 0
+        session = self.session
+        process = self.process
+        tags = self.app.authority.tags
+        session.begin()
+        try:
+            for m in measurements:
+                owner = self._owner_of(m.carid)
+                drives_tag = tags.lookup(drives_tag_name(owner))
+                location_tag = tags.lookup(location_tag_name(owner))
+                process.add_secrecy(drives_tag.id)
+                process.add_secrecy(location_tag.id)
+                session.insert(
+                    "Locations",
+                    declassifying=(location_tag.name,),
+                    locid=self.app.db.next_sequence("cartel-locid"),
+                    carid=m.carid, lat=m.lat, lon=m.lon, speed=m.speed,
+                    ts=m.ts)
+                process.declassify(drives_tag.id)
+                process.declassify(location_tag.id)
+                count += 1
+                batch += 1
+                if batch >= self.batch_size:
+                    session.commit()
+                    session.begin()
+                    batch = 0
+            session.commit()
+        except BaseException:
+            if session.transaction is not None:
+                session.rollback()
+            raise
+        self.measurements_processed += count
+        return count

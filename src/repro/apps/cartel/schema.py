@@ -1,0 +1,200 @@
+"""CarTel schema, tag scheme, and trusted setup (section 6.1).
+
+Tag scheme, following the paper:
+
+* per user ``u``: ``u<id>-drives`` covers historical drives and
+  ``u<id>-location`` covers the current location;
+* compound tags ``all_drives`` / ``all_locations`` group them so trusted
+  services and statistics code can be granted authority wholesale.
+
+Labelling strategy:
+
+* ``Users`` and ``Friends`` rows: empty label (the paper focuses on
+  location privacy; account data could get its own tags);
+* ``Cars`` rows: ``{u-drives}`` — car identity is only meaningful to
+  people who can see the car's drives;
+* raw ``Locations`` measurements: ``{u-drives, u-location}`` (a raw GPS
+  point reveals both the drive and the current position);
+* derived ``Drives``: ``{u-drives}`` — the ``driveupdate`` closure
+  trigger declassifies the location tag, which it has authority for,
+  but *cannot* remove the drives tag (section 6.1);
+* ``LocationsLatest``: ``{u-drives, u-location}``.
+
+The **trusted base** is exactly this module's :class:`CarTelApp` setup
+methods (≈50 lines that create tags and label incoming data, matching
+section 6.3) plus the closure definitions in :mod:`.ingest`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...core.authority import AuthorityState
+from ...core.labels import Label
+from ...core.process import IFCProcess
+from ...db.engine import Database
+from ...platform.runtime import IFRuntime
+
+SCHEMA_SQL = """
+CREATE TABLE Users (
+    userid INT PRIMARY KEY,
+    username TEXT UNIQUE NOT NULL,
+    password TEXT NOT NULL,
+    fullname TEXT,
+    email TEXT
+);
+CREATE TABLE Cars (
+    carid INT PRIMARY KEY,
+    userid INT NOT NULL REFERENCES Users(userid),
+    make TEXT,
+    model TEXT
+);
+CREATE TABLE Locations (
+    locid INT PRIMARY KEY,
+    carid INT NOT NULL REFERENCES Cars(carid),
+    lat REAL NOT NULL,
+    lon REAL NOT NULL,
+    speed REAL,
+    ts TIMESTAMP NOT NULL
+);
+CREATE TABLE LocationsLatest (
+    carid INT PRIMARY KEY REFERENCES Cars(carid),
+    lat REAL NOT NULL,
+    lon REAL NOT NULL,
+    speed REAL,
+    ts TIMESTAMP NOT NULL
+);
+CREATE TABLE Drives (
+    driveid INT PRIMARY KEY,
+    carid INT NOT NULL REFERENCES Cars(carid),
+    start_ts TIMESTAMP NOT NULL,
+    end_ts TIMESTAMP NOT NULL,
+    distance REAL NOT NULL,
+    npoints INT NOT NULL
+);
+CREATE TABLE Friends (
+    userid INT NOT NULL REFERENCES Users(userid),
+    friendid INT NOT NULL REFERENCES Users(userid),
+    PRIMARY KEY (userid, friendid)
+);
+CREATE INDEX cars_by_user ON Cars (userid);
+CREATE INDEX locations_by_car ON Locations (carid);
+CREATE ORDERED INDEX drives_by_car ON Drives (carid, start_ts);
+CREATE INDEX friends_by_friend ON Friends (friendid);
+"""
+
+
+def drives_tag_name(userid: int) -> str:
+    return "u%d-drives" % userid
+
+
+def location_tag_name(userid: int) -> str:
+    return "u%d-location" % userid
+
+
+class CarTelApp:
+    """Authority schema + database schema + trusted account management."""
+
+    def __init__(self, db: Database, runtime: IFRuntime):
+        self.db = db
+        self.runtime = runtime
+        self.authority: AuthorityState = db.authority
+        # Service principals (the authority schema of section 6.4).
+        self.cartel = self.authority.create_principal("cartel-service")
+        self.all_drives = self.authority.create_compound_tag(
+            "all_drives", owner=self.cartel.id)
+        self.all_locations = self.authority.create_compound_tag(
+            "all_locations", owner=self.cartel.id)
+        # The ingest daemon labels incoming data; it is trusted and holds
+        # authority for both compounds (it must lower its label between
+        # measurements for different users and at commit).
+        self.ingestd = self.authority.create_principal("gps-ingestd")
+        self.authority.delegate(self.all_drives.id, self.cartel.id,
+                                self.ingestd.id)
+        self.authority.delegate(self.all_locations.id, self.cartel.id,
+                                self.ingestd.id)
+        # username -> (userid, principal id); the web authenticator's map.
+        self.accounts: Dict[str, Tuple[int, int]] = {}
+        self._next_userid = 1
+        self._next_carid = 1
+        self._admin_session = db.connect(
+            IFCProcess(self.authority, self.cartel.id))
+        self._admin_session.execute_script(SCHEMA_SQL)
+
+    # ------------------------------------------------------------------
+    # trusted account management (the ~50 trusted lines of section 6.3)
+    # ------------------------------------------------------------------
+    def signup(self, username: str, password: str,
+               fullname: Optional[str] = None) -> int:
+        """Create a user: principal, tags (linked into the compounds by
+        the cartel service, which owns them), and the Users row."""
+        userid = self._next_userid
+        self._next_userid += 1
+        principal = self.authority.create_principal("user:%s" % username)
+        self.authority.create_tag(
+            drives_tag_name(userid), owner=principal.id,
+            compounds=(self.all_drives.id,), creator=self.cartel.id)
+        self.authority.create_tag(
+            location_tag_name(userid), owner=principal.id,
+            compounds=(self.all_locations.id,), creator=self.cartel.id)
+        self._admin_session.execute(
+            "INSERT INTO Users (userid, username, password, fullname, email)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (userid, username, password, fullname or username,
+             "%s@cartel.example" % username))
+        self.accounts[username] = (userid, principal.id)
+        return userid
+
+    def add_car(self, userid: int, make: str = "Saab",
+                model: str = "93") -> int:
+        """Register a car, labelled with the owner's drives tag."""
+        carid = self._next_carid
+        self._next_carid += 1
+        owner_process = IFCProcess(self.authority, self.ingestd.id)
+        session = self.db.connect(owner_process)
+        drives_tag = self.authority.tags.lookup(drives_tag_name(userid))
+        owner_process.add_secrecy(drives_tag.id)
+        session.insert("Cars", declassifying=(drives_tag.name,),
+                       carid=carid, userid=userid, make=make, model=model)
+        owner_process.declassify(drives_tag.id)
+        return carid
+
+    def befriend(self, userid: int, friendid: int) -> None:
+        """Record a friendship and delegate the drives tag (section 6.1:
+        "the owner can allow friends to see past drives")."""
+        user_principal = self._principal_for(userid)
+        friend_principal = self._principal_for(friendid)
+        process = IFCProcess(self.authority, user_principal)
+        session = self.db.connect(process)
+        session.insert("Friends", userid=userid, friendid=friendid)
+        drives_tag = self.authority.tags.lookup(drives_tag_name(userid))
+        process.delegate(drives_tag.id, friend_principal)
+
+    def _principal_for(self, userid: int) -> int:
+        for username, (uid, principal) in self.accounts.items():
+            if uid == userid:
+                return principal
+        raise KeyError("no account for userid %d" % userid)
+
+    def authenticate(self, username: str, password: str) -> Optional[int]:
+        """The web authenticator (trusted, Figure 1)."""
+        entry = self.accounts.get(username)
+        if entry is None:
+            return None
+        userid, principal = entry
+        row = self._admin_session.execute(
+            "SELECT password FROM Users WHERE username = ?",
+            (username,)).first()
+        if row is None or row[0] != password:
+            return None
+        return principal
+
+    def userid_of(self, username: str) -> int:
+        return self.accounts[username][0]
+
+    def user_labels(self, userid: int) -> Label:
+        """Label of a user's raw location data."""
+        return Label((
+            self.authority.tags.lookup(drives_tag_name(userid)).id,
+            self.authority.tags.lookup(location_tag_name(userid)).id,
+        ))

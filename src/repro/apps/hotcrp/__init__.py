@@ -1,0 +1,19 @@
+"""HotCRP (section 6.2): the conference-management case study."""
+
+from .app import HotCRPApp
+from .schema import (
+    PC_MEMBERS_VIEW,
+    SCHEMA_SQL,
+    contact_tag_name,
+    decision_tag_name,
+    review_tag_name,
+)
+
+__all__ = [
+    "HotCRPApp",
+    "PC_MEMBERS_VIEW",
+    "SCHEMA_SQL",
+    "contact_tag_name",
+    "decision_tag_name",
+    "review_tag_name",
+]

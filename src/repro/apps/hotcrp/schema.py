@@ -1,0 +1,78 @@
+"""HotCRP schema and tag scheme (section 6.2).
+
+Tag scheme, following the paper:
+
+* each user ``c`` has a ``c<id>-contact`` tag protecting their
+  ``ContactInfo`` row; all of these live under the ``all_contacts``
+  compound tag;
+* each review has its own tag, owned by the review author and delegated
+  to the chair at creation ("a tag that only the review author and the
+  chair are authoritative for"); an authority closure running with the
+  chair's authority later delegates it to eligible (non-conflicted) PC
+  members;
+* each acceptance decision is protected by a per-paper tag owned by the
+  chair, delegated to the author only when results are released.
+
+``PCMembers`` is the paper's example **declassifying view**: it distils
+the public names of PC members out of the sensitive ``ContactInfo``
+table, using authority for ``all_contacts``.
+"""
+
+from __future__ import annotations
+
+SCHEMA_SQL = """
+CREATE TABLE ContactInfo (
+    contactId INT PRIMARY KEY,
+    email TEXT UNIQUE NOT NULL,
+    firstName TEXT,
+    lastName TEXT,
+    affiliation TEXT,
+    phone TEXT,
+    password TEXT NOT NULL,
+    isPC BOOLEAN NOT NULL DEFAULT FALSE,
+    isChair BOOLEAN NOT NULL DEFAULT FALSE
+);
+CREATE TABLE Papers (
+    paperId INT PRIMARY KEY,
+    title TEXT NOT NULL,
+    authorId INT NOT NULL REFERENCES ContactInfo(contactId),
+    submitted_ts TIMESTAMP
+);
+CREATE TABLE PaperConflicts (
+    paperId INT NOT NULL REFERENCES Papers(paperId),
+    contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+    PRIMARY KEY (paperId, contactId)
+);
+CREATE TABLE PaperReview (
+    reviewId INT PRIMARY KEY,
+    paperId INT NOT NULL REFERENCES Papers(paperId),
+    reviewerId INT NOT NULL REFERENCES ContactInfo(contactId),
+    score INT,
+    comments TEXT
+);
+CREATE TABLE Decisions (
+    paperId INT PRIMARY KEY REFERENCES Papers(paperId),
+    outcome TEXT NOT NULL
+);
+CREATE INDEX papers_by_author ON Papers (authorId);
+CREATE INDEX reviews_by_paper ON PaperReview (paperId);
+CREATE INDEX conflicts_by_paper ON PaperConflicts (paperId);
+"""
+
+PC_MEMBERS_VIEW = (
+    "CREATE VIEW PCMembers AS "
+    "SELECT firstName, lastName FROM ContactInfo WHERE isPC = TRUE "
+    "WITH DECLASSIFYING (all_contacts)"
+)
+
+
+def contact_tag_name(contact_id: int) -> str:
+    return "c%d-contact" % contact_id
+
+
+def review_tag_name(review_id: int) -> str:
+    return "r%d-review" % review_id
+
+
+def decision_tag_name(paper_id: int) -> str:
+    return "p%d-decision" % paper_id

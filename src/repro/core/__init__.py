@@ -1,0 +1,52 @@
+"""The DIFC model (sections 3 and 7.3 of the paper).
+
+This package implements the Aeolus-style decentralized information flow
+control model IFDB builds on: tags and compound tags, immutable labels,
+principals, the authority state with delegation and revocation, IFC
+processes with explicit label changes, reduced-authority calls, and
+authority closures.
+"""
+
+from .authority import AuthorityState
+from .idgen import IdGenerator, SeededIdGenerator, SequentialIdGenerator
+from .labels import EMPTY_LABEL, Label, as_label
+from .principals import Principal
+from .process import Closure, IFCProcess
+from .rules import (
+    can_flow,
+    can_flow_integrity,
+    covers,
+    may_commit,
+    may_write,
+    same_contamination,
+    strip,
+    symmetric_difference,
+    tuple_visible,
+)
+from .tags import INTEGRITY, SECRECY, Tag, TagRegistry
+
+__all__ = [
+    "AuthorityState",
+    "Closure",
+    "EMPTY_LABEL",
+    "IFCProcess",
+    "IdGenerator",
+    "INTEGRITY",
+    "Label",
+    "Principal",
+    "SECRECY",
+    "SeededIdGenerator",
+    "SequentialIdGenerator",
+    "Tag",
+    "TagRegistry",
+    "as_label",
+    "can_flow",
+    "can_flow_integrity",
+    "covers",
+    "may_commit",
+    "may_write",
+    "same_contamination",
+    "strip",
+    "symmetric_difference",
+    "tuple_visible",
+]

@@ -1,0 +1,109 @@
+"""The information flow rules (sections 3.2, 4.2, 5.1).
+
+These predicates are shared by the database engine and the application
+platform so there is exactly one implementation of each rule:
+
+* **Information Flow Rule** — information may flow from a source labelled
+  ``LS`` to a destination labelled ``LD`` iff ``LS ⊆ LD``.
+* **Label Confinement Rule** — a query by a process labelled ``LP`` sees
+  only tuples ``T`` with ``LT ⊆ LP``.
+* **Write Rule** — a process labelled ``LP`` may write a tuple labelled
+  ``LT`` only if ``LT ⊇ LP``; combined with confinement, writes carry
+  exactly ``LP``.
+* **Commit Label Rule** — a transaction may commit only if its label at
+  the commit point is no more contaminated than any tuple in its write
+  set (``L_commit ⊆ LT`` for every written tuple).
+
+All subset comparisons expand compound tags: a label containing
+``all_drives`` covers one containing ``alice_drives``.  Integrity labels
+obey the dual rules (``LS ⊇ LD`` for flows).
+"""
+
+from __future__ import annotations
+
+from .labels import Label
+from .tags import TagRegistry
+
+
+def covers(registry: TagRegistry, low: Label, high: Label) -> bool:
+    """True iff ``low ⊆ high`` after compound expansion.
+
+    "``high`` covers ``low``": every tag of ``low`` appears in ``high``
+    either directly or as a member of one of ``high``'s compound tags.
+    """
+    low_tags = low.tags
+    if not low_tags:
+        return True
+    high_tags = high.tags
+    if low_tags <= high_tags:           # fast path: plain subset
+        return True
+    return low_tags <= registry.expand(high_tags)
+
+
+def same_contamination(registry: TagRegistry, a: Label, b: Label) -> bool:
+    """True iff the two labels denote the same contamination.
+
+    Used by the update/delete rule ("affect only tuples with label LP"):
+    equality up to compound expansion.
+    """
+    if a.tags == b.tags:
+        return True
+    return covers(registry, a, b) and covers(registry, b, a)
+
+
+def can_flow(registry: TagRegistry, source: Label, destination: Label) -> bool:
+    """The Information Flow Rule for secrecy labels."""
+    return covers(registry, source, destination)
+
+
+def can_flow_integrity(registry: TagRegistry, source: Label,
+                       destination: Label) -> bool:
+    """The dual rule for integrity: the source must vouch for at least the
+    destination's integrity (``IS ⊇ ID``)."""
+    return covers(registry, destination, source)
+
+
+def tuple_visible(registry: TagRegistry, tuple_label: Label,
+                  process_label: Label) -> bool:
+    """The Label Confinement Rule (section 4.2)."""
+    return covers(registry, tuple_label, process_label)
+
+
+def may_write(registry: TagRegistry, tuple_label: Label,
+              process_label: Label) -> bool:
+    """The Write Rule (section 4.2): ``LT ⊇ LP``."""
+    return covers(registry, process_label, tuple_label)
+
+
+def may_commit(registry: TagRegistry, commit_label: Label,
+               written_label: Label) -> bool:
+    """The commit-label rule (section 5.1): ``L_commit ⊆ LT``.
+
+    All writes conceptually happen at the commit point, so committing with
+    a label above a written tuple's label would launder information into
+    a less-contaminated tuple.
+    """
+    return covers(registry, commit_label, written_label)
+
+
+def strip(registry: TagRegistry, label: Label, declassified: Label) -> Label:
+    """Remove from ``label`` every tag covered by ``declassified``.
+
+    A compound tag in ``declassified`` strips all of its member tags.
+    Used by declassifying views (section 4.3) and explicit declassify
+    with compound authority.
+    """
+    removable = registry.expand(declassified.tags)
+    remaining = [t for t in label.tags if t not in removable]
+    if len(remaining) == len(label):
+        return label
+    return Label(remaining)
+
+
+def symmetric_difference(a: Label, b: Label) -> Label:
+    """``LA △ LB`` — the tags in exactly one of the labels.
+
+    The Foreign Key Rule (section 5.2.2) requires declassification
+    authority over this set when inserting a referencing tuple.
+    """
+    return Label(a.tags ^ b.tags)

@@ -1,0 +1,150 @@
+"""Tags and compound tags (section 3.1).
+
+A *tag* is an identifier attached to data to denote a secrecy (or
+integrity) concern, e.g. ``alice-location``.  A *compound tag* groups tags
+so they can be used as a unit, e.g. ``all-locations``; membership is fixed
+at tag-creation time (the paper disallows relinking because it would
+relabel all covered data).
+
+Tag records are owned by the authority state (:mod:`repro.core.authority`);
+this module defines the record type and the membership-closure helper used
+to expand compound tags during label comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..errors import UnknownTagError
+
+#: Tag categories.  Secrecy tags contaminate; integrity tags endorse.
+SECRECY = "secrecy"
+INTEGRITY = "integrity"
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A tag record in the authority state.
+
+    ``compounds`` lists the compound tags this tag is a *member of*; it is
+    fixed at creation.  A compound tag is an ordinary :class:`Tag` with
+    ``is_compound=True``; compounds may themselves be members of larger
+    compounds (nesting is allowed, cycles are not).
+    """
+
+    id: int
+    name: str
+    owner: int                      # owning principal id
+    kind: str = SECRECY
+    is_compound: bool = False
+    compounds: FrozenSet[int] = frozenset()
+
+
+class TagRegistry:
+    """Stores tag records and answers compound-membership queries.
+
+    The registry maintains, for every compound tag, the transitive set of
+    member tag ids.  This makes the hot-path operation — "expand a label's
+    compound tags for a subset check" — a few dict lookups and set unions.
+    """
+
+    def __init__(self):
+        self._tags: Dict[int, Tag] = {}
+        self._by_name: Dict[str, int] = {}
+        # compound id -> transitive closure of member tag ids (excluding
+        # the compound itself).
+        self._members: Dict[int, Set[int]] = {}
+
+    # -- registration ---------------------------------------------------
+    def add(self, tag: Tag) -> None:
+        if tag.id in self._tags:
+            raise ValueError("duplicate tag id %d" % tag.id)
+        if tag.name in self._by_name:
+            raise ValueError("duplicate tag name %r" % tag.name)
+        for compound_id in tag.compounds:
+            parent = self.get(compound_id)
+            if not parent.is_compound:
+                raise ValueError(
+                    "tag %r is not a compound tag; %r cannot be a member"
+                    % (parent.name, tag.name))
+            if parent.kind != tag.kind:
+                raise ValueError("compound and member tags must share a kind")
+        self._tags[tag.id] = tag
+        self._by_name[tag.name] = tag.id
+        if tag.is_compound:
+            self._members.setdefault(tag.id, set())
+        for compound_id in tag.compounds:
+            self._add_member(compound_id, tag.id)
+
+    def _add_member(self, compound_id: int, member_id: int) -> None:
+        """Record membership and propagate up through nested compounds."""
+        new_members = {member_id}
+        if member_id in self._members:           # member is itself a compound
+            new_members |= self._members[member_id]
+        seen: Set[int] = set()
+        stack = [compound_id]
+        while stack:
+            cid = stack.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            self._members.setdefault(cid, set()).update(new_members)
+            stack.extend(self._tags[cid].compounds)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, tag_id: int) -> Tag:
+        try:
+            return self._tags[tag_id]
+        except KeyError:
+            raise UnknownTagError("no tag with id %d" % tag_id) from None
+
+    def lookup(self, name: str) -> Tag:
+        try:
+            return self._tags[self._by_name[name]]
+        except KeyError:
+            raise UnknownTagError("no tag named %r" % name) from None
+
+    def __contains__(self, tag_id: int) -> bool:
+        return tag_id in self._tags
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def names(self, tag_ids) -> Tuple[str, ...]:
+        """Human-readable names for a collection of tag ids (sorted)."""
+        return tuple(sorted(self.get(t).name for t in tag_ids))
+
+    def members_of(self, compound_id: int) -> FrozenSet[int]:
+        """Transitive member tags of a compound (empty for plain tags)."""
+        return frozenset(self._members.get(compound_id, ()))
+
+    def compounds_of(self, tag_id: int) -> FrozenSet[int]:
+        """All compounds that (transitively) contain ``tag_id``."""
+        result: Set[int] = set()
+        stack = list(self.get(tag_id).compounds)
+        while stack:
+            cid = stack.pop()
+            if cid in result:
+                continue
+            result.add(cid)
+            stack.extend(self._tags[cid].compounds)
+        return frozenset(result)
+
+    def expand(self, tag_ids) -> FrozenSet[int]:
+        """Expand compound tags into themselves plus their member closure.
+
+        Used for label comparisons: a label containing ``all_drives``
+        covers data labelled ``alice_drives`` (section 3.1, 8.3).
+        """
+        result: Set[int] = set()
+        for tag_id in tag_ids:
+            result.add(tag_id)
+            members = self._members.get(tag_id)
+            if members:
+                result |= members
+        return frozenset(result)
+
+    def all_tags(self):
+        """Iterate over every registered tag record."""
+        return self._tags.values()

@@ -1,0 +1,39 @@
+"""The relational engine substrate with IFDB label enforcement.
+
+The public surface is :class:`Database` (the engine),
+:class:`~repro.db.session.Session` (a connection bound to an IFC
+process), and the schema-definition classes.
+"""
+
+from .catalog import AFTER, BEFORE, DEFERRED, DELETE, INSERT, UPDATE
+from .engine import Database
+from .schema import (
+    CheckConstraint,
+    Column,
+    ForeignKeyConstraint,
+    LabelCheckConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from .session import Result, Row, Session
+from .transactions import SERIALIZABLE, SNAPSHOT
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    LABEL,
+    NUMERIC,
+    TEXT,
+    TIMESTAMP,
+    TextType,
+    type_by_name,
+)
+
+__all__ = [
+    "AFTER", "BEFORE", "BOOL", "CheckConstraint", "Column", "DEFERRED",
+    "DELETE", "Database", "FLOAT", "ForeignKeyConstraint", "INSERT", "INT",
+    "LABEL", "LabelCheckConstraint", "NUMERIC", "Result", "Row",
+    "SERIALIZABLE", "SNAPSHOT", "Session", "TEXT", "TIMESTAMP",
+    "TableSchema", "TextType", "UPDATE", "UniqueConstraint",
+    "type_by_name",
+]

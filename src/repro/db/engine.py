@@ -1,0 +1,448 @@
+"""The database engine facade.
+
+:class:`Database` ties everything together: authority state, catalog,
+transaction manager, buffer cache, planner, and the statement caches.
+It is the analogue of the modified PostgreSQL server of section 7.1.
+
+Two construction-time switches drive the benchmarks:
+
+* ``ifc_enabled=False`` gives the **baseline** ("PostgreSQL"): labels are
+  neither stored nor checked, tuple sizes exclude labels, and sessions
+  run with an empty label.  Everything else is byte-for-byte the same
+  engine, isolating exactly the overhead the paper attributes to IFDB.
+* ``buffer_pages``/``io_penalty`` configure the storage model: unbounded
+  cache ≈ the paper's in-memory DBT-2 database, a small cache with a
+  per-miss penalty ≈ the disk-bound 150-warehouse database.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.authority import AuthorityState
+from ..core.idgen import SeededIdGenerator
+from ..core.labels import EMPTY_LABEL, Label
+from ..errors import AuthorityError, CatalogError, DatabaseError
+from ..sql import ast
+from ..sql.parser import parse_script, parse_statement
+from .catalog import (
+    Catalog,
+    FunctionDef,
+    ProcedureDef,
+    TriggerDef,
+    ViewDef,
+)
+from .expressions import Scope
+from .pages import BufferCache
+from .planner import Planner, PreparedSelect
+from .schema import (
+    CheckConstraint,
+    Column,
+    ForeignKeyConstraint,
+    LabelCheckConstraint,
+    TableSchema,
+    UniqueConstraint,
+)
+from .session import Session
+from .storage import Table
+from .transactions import SNAPSHOT, TransactionManager
+from .types import type_by_name
+
+
+class DMLScan:
+    """Target-row scan for UPDATE/DELETE: yields tuple *versions*.
+
+    Unlike SELECT plans (which yield values), DML needs the physical
+    versions so it can stamp ``xmax``.  Visibility here is the same
+    Query-by-Label rule as reads; the write-rule equality check happens
+    in the session on each yielded version.
+    """
+
+    def __init__(self, table: Table, index, key_fns, predicate):
+        self.table = table
+        self.index = index
+        self.key_fns = key_fns
+        self.predicate = predicate
+
+    def versions(self, session, ctx):
+        from ..core.rules import covers
+        txn = session.transaction
+        txn_manager = session.db.txn_manager
+        registry = ctx.registry
+        table = self.table
+        read_label = ctx.read_label
+        check_labels = ctx.ifc_enabled
+        predicate = self.predicate
+        if self.index is not None:
+            key = tuple(fn([], ctx) for fn in self.key_fns)
+            if any(k is None for k in key):
+                return
+            candidates = table.versions_for_tids(self.index.lookup(key))
+        else:
+            candidates = table.all_versions()
+        for version in candidates:
+            table.touch(version)
+            if not txn_manager.visible(version, txn):
+                continue
+            if check_labels and not covers(registry, version.label,
+                                           read_label):
+                continue
+            if predicate is not None:
+                row = list(version.values)
+                row.append(version.label)
+                if not predicate(row, ctx):
+                    continue
+            yield version
+
+
+class PreparedDML:
+    def __init__(self, scan: DMLScan, assignments: List[Tuple[int, Callable]]):
+        self.scan = scan
+        self.assignments = assignments
+
+
+class Database:
+    """An IFDB database instance."""
+
+    def __init__(self, authority: Optional[AuthorityState] = None, *,
+                 ifc_enabled: bool = True,
+                 page_size: int = 8192,
+                 buffer_pages: Optional[int] = None,
+                 io_penalty: float = 0.0,
+                 deterministic_order: bool = False,
+                 default_isolation: str = SNAPSHOT,
+                 seed: Optional[int] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        if authority is None:
+            idgen = SeededIdGenerator(seed) if seed is not None else None
+            authority = AuthorityState(idgen=idgen)
+        self.authority = authority
+        self.ifc_enabled = ifc_enabled
+        self.page_size = page_size
+        self.deterministic_order = deterministic_order
+        self.default_isolation = default_isolation
+        self.clock = clock or time.time
+        self.catalog = Catalog()
+        self.txn_manager = TransactionManager()
+        self.buffer_cache = BufferCache(capacity=buffer_pages,
+                                        io_penalty=io_penalty)
+        self.planner = Planner(self.catalog, self.authority.tags)
+        self._parse_cache: Dict[str, object] = {}
+        self._select_cache: Dict[Tuple[int, int], PreparedSelect] = {}
+        self._dml_cache: Dict[Tuple[int, int], PreparedDML] = {}
+        # Activity counters (read by benchmarks and tests).
+        self.statements_executed = 0
+        self.rows_inserted = 0
+        self.rows_updated = 0
+        self.rows_deleted = 0
+        self._sequences: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def connect(self, process=None) -> Session:
+        """Open a session.  With IFC enabled, a process carrying the label
+        and principal should be supplied; ``None`` connects an internal
+        session with an empty label and no authority."""
+        return Session(self, process)
+
+    # ------------------------------------------------------------------
+    # parsing and preparation (cached)
+    # ------------------------------------------------------------------
+    def parse(self, sql: str):
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            self._parse_cache[sql] = statement
+        return statement
+
+    def parse_script(self, sql: str):
+        return parse_script(sql)
+
+    def prepare_select(self, statement: ast.Select,
+                       sql: Optional[str]) -> PreparedSelect:
+        # The cache keeps a strong reference to the statement so the
+        # id()-based key can never alias a recycled object.
+        key = (id(statement), self.catalog.version)
+        cached = self._select_cache.get(key)
+        if cached is not None and cached[0] is statement:
+            return cached[1]
+        prepared = self.planner.plan_select(statement)
+        self._select_cache[key] = (statement, prepared)
+        return prepared
+
+    def prepare_dml(self, statement, sql: Optional[str]) -> PreparedDML:
+        key = (id(statement), self.catalog.version)
+        cached = self._dml_cache.get(key)
+        if cached is not None and cached[0] is statement:
+            return cached[1]
+        prepared = self._plan_dml(statement)
+        self._dml_cache[key] = (statement, prepared)
+        return prepared
+
+    def _plan_dml(self, statement) -> PreparedDML:
+        table = self.catalog.get_table(statement.table)
+        scope = Scope()
+        scope.add_table(table.name, table.schema.column_names)
+        compiler = self.planner.compiler(scope)
+
+        from .planner import _split_conjuncts
+        conjuncts = _split_conjuncts(statement.where)
+        eq_cols = {}
+        for conjunct in conjuncts:
+            col, value = self.planner._constant_equality(
+                conjunct, table.name, scope)
+            if col is not None and col not in eq_cols:
+                eq_cols[col] = (conjunct, value)
+        index = None
+        n_keys = 0
+        if eq_cols:
+            index, n_keys = self.planner._best_index(table, set(eq_cols))
+        key_fns = []
+        residual = list(conjuncts)
+        if index is not None:
+            for col in index.columns[:n_keys]:
+                conjunct, value = eq_cols[col]
+                key_fns.append(compiler.compile(value))
+                residual.remove(conjunct)
+        predicate = None
+        if residual:
+            from .expressions import And
+            node = residual[0] if len(residual) == 1 else And(residual)
+            predicate = compiler.compile(node)
+        scan = DMLScan(table, index, key_fns, predicate)
+
+        assignments: List[Tuple[int, Callable]] = []
+        if isinstance(statement, ast.Update):
+            for column, expr in statement.assignments:
+                position = table.schema.position(column)
+                assignments.append((position, compiler.compile(expr)))
+        return PreparedDML(scan, assignments)
+
+    def resolve_tag_label(self, names: Sequence[str]) -> Label:
+        if not names:
+            return EMPTY_LABEL
+        return Label(self.authority.tags.lookup(n).id for n in names)
+
+    # ------------------------------------------------------------------
+    # DDL (programmatic API)
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        table = Table(schema, page_size=self.page_size,
+                      buffer_cache=self.buffer_cache,
+                      store_labels=self.ifc_enabled)
+        self.catalog.add_table(table)
+        return table
+
+    def create_index(self, name: str, table_name: str,
+                     columns: Sequence[str], *, ordered: bool = False):
+        table = self.catalog.get_table(table_name)
+        index = table.create_index(name, columns, ordered=ordered)
+        self.catalog._bump()
+        return index
+
+    def create_view(self, name: str, select: ast.Select, *,
+                    declassify: Label = EMPTY_LABEL,
+                    principal: Optional[int] = None) -> ViewDef:
+        """Create a (possibly declassifying) view.
+
+        For declassifying views the backing ``principal`` must hold
+        authority for every declassified tag at creation time — "the user
+        must have whatever authority is being given to the view"
+        (section 4.3) — and the authority is re-checked on every use.
+        """
+        prepared = self.planner.plan_select(select)
+        if declassify and self.ifc_enabled:
+            if principal is None:
+                raise AuthorityError(
+                    "a declassifying view needs a backing principal")
+            for tag_id in declassify:
+                self.authority.check_authority(principal, tag_id)
+        view = ViewDef(name=name, select=select,
+                       columns=list(prepared.columns),
+                       declassify=declassify, principal=principal)
+        self.catalog.add_view(view)
+        return view
+
+    def create_function(self, name: str, fn: Callable, *,
+                        needs_context: bool = False) -> None:
+        """Register a scalar function callable from SQL expressions."""
+        self.catalog.add_function(FunctionDef(name=name, fn=fn,
+                                              needs_context=needs_context))
+
+    def create_procedure(self, name: str, fn: Callable, *,
+                         closure_principal: Optional[int] = None,
+                         creator=None) -> None:
+        """Register a stored procedure; binding a principal makes it a
+        stored authority closure (section 4.3).  If ``creator`` (an
+        IFCProcess) is given, it must hold the closure's authority —
+        creation-time check per section 3.3."""
+        if closure_principal is not None and creator is not None:
+            self.authority.principals.get(closure_principal)
+        self.catalog.add_procedure(ProcedureDef(
+            name=name, fn=fn, closure_principal=closure_principal))
+
+    def create_trigger(self, name: str, table: str, events, timing: str,
+                       fn: Callable, *,
+                       closure_principal: Optional[int] = None) -> None:
+        if isinstance(events, str):
+            events = (events,)
+        self.catalog.add_trigger(TriggerDef(
+            name=name, table=table, events=frozenset(events), timing=timing,
+            fn=fn, closure_principal=closure_principal))
+
+    # ------------------------------------------------------------------
+    # DDL via SQL
+    # ------------------------------------------------------------------
+    def execute_ddl(self, session: Session, statement):
+        from .session import Result
+        if isinstance(statement, ast.CreateTable):
+            if statement.if_not_exists and \
+                    self.catalog.relation_exists(statement.name):
+                return Result()
+            self.create_table(self._schema_from_ast(statement))
+            return Result()
+        if isinstance(statement, ast.CreateView):
+            declassify = self.resolve_tag_label(statement.declassifying)
+            principal = session.acting.principal if declassify else None
+            self.create_view(statement.name, statement.select,
+                             declassify=declassify, principal=principal)
+            return Result()
+        if isinstance(statement, ast.CreateIndex):
+            self.create_index(statement.name, statement.table,
+                              statement.columns, ordered=statement.ordered)
+            return Result()
+        if isinstance(statement, ast.DropTable):
+            if statement.if_exists and not \
+                    self.catalog.relation_exists(statement.name):
+                return Result()
+            self.catalog.drop_table(statement.name)
+            return Result()
+        if isinstance(statement, ast.DropView):
+            self.catalog.drop_view(statement.name)
+            return Result()
+        raise DatabaseError("unsupported statement %r" % (statement,))
+
+    def _schema_from_ast(self, statement: ast.CreateTable) -> TableSchema:
+        columns: List[Column] = []
+        primary_key: Optional[Tuple[str, ...]] = None
+        uniques: List[UniqueConstraint] = []
+        fks: List[ForeignKeyConstraint] = []
+        checks: List[CheckConstraint] = []
+        label_checks: List[LabelCheckConstraint] = []
+        fk_counter = 0
+
+        for col_def in statement.columns:
+            sql_type = type_by_name(col_def.type_name, col_def.type_length)
+            columns.append(Column(name=col_def.name, type=sql_type,
+                                  not_null=col_def.not_null,
+                                  default=col_def.default))
+            if col_def.has_default and col_def.default is None:
+                columns[-1].has_default = True
+            if col_def.primary_key:
+                if primary_key is not None:
+                    raise CatalogError("multiple primary keys for table %r"
+                                       % statement.name)
+                primary_key = (col_def.name,)
+                columns[-1].not_null = True
+            if col_def.unique:
+                uniques.append(UniqueConstraint(
+                    name="%s_%s_key" % (statement.name, col_def.name),
+                    columns=(col_def.name,)))
+            if col_def.references is not None:
+                fk_counter += 1
+                ref_table, ref_column = col_def.references
+                fks.append(ForeignKeyConstraint(
+                    name="%s_fk%d" % (statement.name, fk_counter),
+                    columns=(col_def.name,), ref_table=ref_table,
+                    ref_columns=(ref_column,),
+                    match_label=col_def.match_label))
+
+        for constraint in statement.constraints:
+            if constraint.kind == "primary_key":
+                if primary_key is not None:
+                    raise CatalogError("multiple primary keys for table %r"
+                                       % statement.name)
+                primary_key = constraint.columns
+            elif constraint.kind == "unique":
+                uniques.append(UniqueConstraint(
+                    name=constraint.name or "%s_unique%d"
+                    % (statement.name, len(uniques) + 1),
+                    columns=constraint.columns))
+            elif constraint.kind == "foreign_key":
+                fk_counter += 1
+                fks.append(ForeignKeyConstraint(
+                    name=constraint.name or "%s_fk%d" % (statement.name,
+                                                         fk_counter),
+                    columns=constraint.columns,
+                    ref_table=constraint.ref_table,
+                    ref_columns=constraint.ref_columns,
+                    match_label=constraint.match_label,
+                    deferred=constraint.deferred))
+            elif constraint.kind == "check":
+                checks.append(CheckConstraint(
+                    name=constraint.name or "%s_check%d"
+                    % (statement.name, len(checks) + 1),
+                    expr=constraint.expr))
+            elif constraint.kind == "label_check":
+                label_checks.append(LabelCheckConstraint(
+                    name=constraint.name or "%s_label_check%d"
+                    % (statement.name, len(label_checks) + 1),
+                    expr=constraint.expr))
+            else:
+                raise CatalogError("unknown constraint kind %r"
+                                   % constraint.kind)
+
+        return TableSchema(statement.name, columns,
+                           primary_key=primary_key, uniques=uniques,
+                           foreign_keys=fks, checks=checks,
+                           label_checks=label_checks)
+
+    def next_sequence(self, name: str) -> int:
+        """A simple named sequence.
+
+        Note: the paper lists leak-free sequences as *future work*
+        (section 10) — a sequential counter is an allocation channel if
+        its values are exposed across labels.  Applications here only
+        use sequences for ids of tuples whose existence the reader may
+        already see.
+        """
+        value = self._sequences.get(name, 0) + 1
+        self._sequences[name] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def vacuum(self, table_name: Optional[str] = None) -> int:
+        """Garbage-collect dead versions (exempt from label rules)."""
+        if table_name is not None:
+            return self.catalog.get_table(table_name).vacuum(self.txn_manager)
+        removed = 0
+        for table in self.catalog.tables.values():
+            removed += table.vacuum(self.txn_manager)
+        return removed
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        cache = self.buffer_cache.stats
+        return {
+            "statements": self.statements_executed,
+            "rows_inserted": self.rows_inserted,
+            "rows_updated": self.rows_updated,
+            "rows_deleted": self.rows_deleted,
+            "commits": self.txn_manager.commits,
+            "aborts": self.txn_manager.aborts,
+            "buffer_hits": cache.hits,
+            "buffer_misses": cache.misses,
+            "buffer_hit_rate": cache.hit_rate,
+            "simulated_io_time": cache.io_time,
+            "polyinstantiated": {
+                t.name: t.polyinstantiation_count
+                for t in self.catalog.tables.values()
+                if t.polyinstantiation_count
+            },
+        }

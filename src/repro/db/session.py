@@ -1,0 +1,567 @@
+"""Database sessions: statement execution under Query by Label.
+
+A :class:`Session` binds a database to an :class:`~repro.core.process.IFCProcess`.
+Every statement runs under the session's *acting context* (normally the
+process itself; triggers may push isolated contexts, see
+:mod:`repro.db.triggers`).  The session enforces, per section 4.2:
+
+* SELECT returns only tuples whose labels are covered by the acting label
+  (done in the scan nodes);
+* INSERT writes tuples with *exactly* the acting label;
+* UPDATE/DELETE affect only tuples whose labels equal the acting label —
+  a visible lower-labelled tuple makes the statement fail, an invisible
+  tuple is simply unaffected;
+* COMMIT checks the transaction commit label against the write set
+  (section 5.1), after running deferred triggers with their statement
+  labels (section 5.2.3).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.labels import EMPTY_LABEL, Label
+from ..core.rules import covers, same_contamination
+from ..errors import (
+    CatalogError,
+    DatabaseError,
+    IFCViolation,
+    SerializationError,
+    TransactionError,
+)
+from ..sql import ast
+from . import constraints
+from .catalog import AFTER, BEFORE, DEFERRED, DELETE, INSERT, UPDATE
+from .planner import DeterministicOrder, ExecContext
+from .triggers import ActingContext, ProcessActing, fire_triggers
+
+
+class Row:
+    """One result row: positional and by-name access, plus its label."""
+
+    __slots__ = ("_values", "_columns", "label")
+
+    def __init__(self, values: Sequence, columns: dict, label: Label):
+        self._values = values
+        self._columns = columns
+        self.label = label
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return self._values[self._columns[key]]
+        return self._values[key]
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except (KeyError, IndexError):
+            return default
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self):
+        return len(self._values)
+
+    def keys(self):
+        return self._columns.keys()
+
+    def as_dict(self) -> dict:
+        return {name: self._values[i] for name, i in self._columns.items()}
+
+    def __eq__(self, other):
+        if isinstance(other, Row):
+            return list(self._values) == list(other._values)
+        if isinstance(other, (tuple, list)):
+            return list(self._values) == list(other)
+        return NotImplemented
+
+    def __repr__(self):
+        return "Row(%r)" % (self.as_dict(),)
+
+
+class Result:
+    """The outcome of one statement."""
+
+    def __init__(self, columns: Optional[List[str]] = None,
+                 rows: Optional[List[Row]] = None, rowcount: int = 0):
+        self.columns = columns or []
+        self.rows = rows or []
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def first(self) -> Optional[Row]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def __repr__(self):
+        return "Result(columns=%r, rows=%d)" % (self.columns, len(self.rows))
+
+
+class Session:
+    """A connection to the database, bound to an IFC process."""
+
+    def __init__(self, db, process=None):
+        self.db = db
+        self.process = process
+        if process is not None:
+            process.attach_session(self)
+        self._acting_stack: List[ActingContext] = [ProcessActing(process)]
+        self.transaction = None
+        self._autocommit_depth = 0
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # acting context
+    # ------------------------------------------------------------------
+    @property
+    def acting(self) -> ActingContext:
+        return self._acting_stack[-1]
+
+    @contextlib.contextmanager
+    def acting_as(self, acting: ActingContext):
+        self._acting_stack.append(acting)
+        try:
+            yield
+        finally:
+            self._acting_stack.pop()
+
+    @property
+    def label(self) -> Label:
+        if not self.db.ifc_enabled:
+            return EMPTY_LABEL
+        return self.acting.label
+
+    @property
+    def ilabel(self) -> Label:
+        if not self.db.ifc_enabled:
+            return EMPTY_LABEL
+        return self.acting.ilabel
+
+    def requires_clearance(self) -> bool:
+        """Does the clearance rule (section 5.1) currently apply?"""
+        from .transactions import SERIALIZABLE
+        return (self.db.ifc_enabled and self.transaction is not None
+                and self.transaction.isolation == SERIALIZABLE)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self, isolation: Optional[str] = None) -> None:
+        if self.transaction is not None:
+            raise TransactionError("a transaction is already open")
+        self.transaction = self.db.txn_manager.begin(
+            isolation or self.db.default_isolation)
+
+    def commit(self) -> None:
+        """Run deferred actions, check the commit label, and commit."""
+        txn = self.transaction
+        if txn is None:
+            raise TransactionError("no transaction to commit")
+        try:
+            for action in txn.deferred:
+                action.fn()
+            if self.db.ifc_enabled:
+                self.db.txn_manager.check_commit_label(
+                    txn, self.label, self.db.authority.tags)
+        except BaseException:
+            self.db.txn_manager.abort(txn)
+            self.transaction = None
+            raise
+        self.db.txn_manager.commit(txn)
+        self.transaction = None
+
+    def rollback(self) -> None:
+        txn = self.transaction
+        if txn is None:
+            raise TransactionError("no transaction to roll back")
+        self.db.txn_manager.abort(txn)
+        self.transaction = None
+
+    @contextlib.contextmanager
+    def _autocommit(self):
+        """Wrap a statement in an implicit transaction when none is open."""
+        if self.transaction is not None:
+            yield
+            return
+        self.begin()
+        try:
+            yield
+        except BaseException:
+            if self.transaction is not None:
+                self.rollback()
+            raise
+        else:
+            self.commit()
+
+    @contextlib.contextmanager
+    def atomic(self, isolation: Optional[str] = None):
+        """Explicit transaction as a context manager."""
+        self.begin(isolation)
+        try:
+            yield self
+        except BaseException:
+            if self.transaction is not None:
+                self.rollback()
+            raise
+        else:
+            self.commit()
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()) -> Result:
+        """Parse (cached), plan (cached), and execute one statement."""
+        statement = self.db.parse(sql)
+        return self.execute_statement(statement, tuple(params), sql=sql)
+
+    def execute_script(self, sql: str) -> None:
+        """Execute a semicolon-separated batch (DDL convenience)."""
+        for statement in self.db.parse_script(sql):
+            self.execute_statement(statement, ())
+
+    def query(self, sql: str, params: Sequence = ()) -> List[Row]:
+        return self.execute(sql, params).rows
+
+    def execute_statement(self, statement, params: Tuple,
+                          sql: Optional[str] = None) -> Result:
+        self.statements_executed += 1
+        self.db.statements_executed += 1
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, params, sql)
+        if isinstance(statement, ast.Insert):
+            with self._autocommit():
+                return self._execute_insert(statement, params)
+        if isinstance(statement, ast.Update):
+            with self._autocommit():
+                return self._execute_update(statement, params, sql)
+        if isinstance(statement, ast.Delete):
+            with self._autocommit():
+                return self._execute_delete(statement, params, sql)
+        if isinstance(statement, ast.Begin):
+            self.begin(statement.isolation)
+            return Result()
+        if isinstance(statement, ast.Commit):
+            self.commit()
+            return Result()
+        if isinstance(statement, ast.Rollback):
+            self.rollback()
+            return Result()
+        if isinstance(statement, ast.Call):
+            return self._execute_call(statement, params)
+        if isinstance(statement, ast.Vacuum):
+            self.db.vacuum(statement.table)
+            return Result()
+        # DDL is delegated to the engine.
+        return self.db.execute_ddl(self, statement)
+
+    def _context(self, params: Tuple) -> ExecContext:
+        return ExecContext(self, params, self.label, self.ilabel,
+                           self.acting.principal)
+
+    # -- SELECT -----------------------------------------------------------
+    def _execute_select(self, statement: ast.Select, params: Tuple,
+                        sql: Optional[str]) -> Result:
+        prepared = self.db.prepare_select(statement, sql)
+        plan = prepared.plan
+        if self.db.deterministic_order:
+            plan = DeterministicOrder(plan)
+        with self._autocommit():
+            ctx = self._context(params)
+            columns = {name: i for i, name in enumerate(prepared.columns)}
+            rows = [Row(values, columns, label)
+                    for values, label, _ilabel in plan.rows(ctx)]
+        return Result(list(prepared.columns), rows, len(rows))
+
+    # -- INSERT -----------------------------------------------------------
+    def _execute_insert(self, statement: ast.Insert, params: Tuple) -> Result:
+        table = self.db.catalog.get_table(statement.table)
+        schema = table.schema
+        if statement.columns is not None:
+            for col in statement.columns:
+                schema.position(col)
+            target_cols = list(statement.columns)
+        else:
+            target_cols = schema.column_names
+        declassifying = self.db.resolve_tag_label(statement.declassifying)
+        ctx = self._context(params)
+
+        source_rows: Iterable[Sequence]
+        if statement.select is not None:
+            prepared = self.db.prepare_select(statement.select, None)
+            source_rows = [values for values, _l, _i
+                           in prepared.plan.rows(ctx)]
+        else:
+            from .expressions import Scope
+            compiler = self.db.planner.compiler(Scope())
+            compiled = [[compiler.compile(e) for e in row]
+                        for row in statement.rows]
+            source_rows = [[fn([], ctx) for fn in row] for row in compiled]
+
+        count = 0
+        for source in source_rows:
+            if len(source) != len(target_cols):
+                raise DatabaseError(
+                    "INSERT expects %d values, got %d"
+                    % (len(target_cols), len(source)))
+            by_name = dict(zip(target_cols, source))
+            full = []
+            for column in schema.columns:
+                if column.name in by_name:
+                    full.append(by_name[column.name])
+                elif column.has_default:
+                    full.append(column.default)
+                else:
+                    full.append(None)
+            self.insert_row(table, tuple(full), declassifying, ctx)
+            count += 1
+        return Result(rowcount=count)
+
+    def insert_row(self, table, values: Tuple, declassifying: Label,
+                   ctx: Optional[ExecContext] = None) -> None:
+        """The INSERT pipeline: triggers, constraints, heap write."""
+        if ctx is None:
+            ctx = self._context(())
+        txn = self.transaction
+        if txn is None:
+            raise TransactionError("insert_row requires an open transaction")
+        label = self.label
+        ilabel = self.ilabel
+        statement_label = label
+
+        values = fire_triggers(self.db, self, table, INSERT, BEFORE, None,
+                               values, statement_label)
+        values = table.schema.coerce_row(values)
+
+        if self.db.ifc_enabled:
+            constraints.check_label_constraints(self.db, ctx, table, values,
+                                                label)
+        constraints.check_checks(self.db, ctx, table, values, label)
+        constraints.check_unique(self.db, self, table, values, label)
+        constraints.check_fk_insert(self.db, self, table, values, label,
+                                    declassifying)
+
+        version = table.append(values, label, ilabel, txn.xid)
+        txn.record_write(table.name, version.tid, version.label, "insert")
+        self.db.rows_inserted += 1
+
+        fire_triggers(self.db, self, table, INSERT, AFTER, None, values,
+                      statement_label)
+        fire_triggers(self.db, self, table, INSERT, DEFERRED, None, values,
+                      statement_label)
+
+    def insert(self, table_name: str, declassifying: Sequence[str] = (),
+               **column_values) -> None:
+        """Programmatic insert convenience (keyword columns)."""
+        table = self.db.catalog.get_table(table_name)
+        schema = table.schema
+        full = []
+        for column in schema.columns:
+            if column.name in column_values:
+                full.append(column_values.pop(column.name))
+            elif column.has_default:
+                full.append(column.default)
+            else:
+                full.append(None)
+        if column_values:
+            raise CatalogError("unknown columns %r for table %s"
+                               % (sorted(column_values), table_name))
+        with self._autocommit():
+            self.insert_row(table, tuple(full),
+                            self.db.resolve_tag_label(declassifying))
+
+    # -- UPDATE -----------------------------------------------------------
+    def _execute_update(self, statement: ast.Update, params: Tuple,
+                        sql: Optional[str]) -> Result:
+        table = self.db.catalog.get_table(statement.table)
+        prepared = self.db.prepare_dml(statement, sql)
+        ctx = self._context(params)
+        txn = self.transaction
+        registry = self.db.authority.tags
+        acting_label = self.label
+        statement_label = acting_label
+        schema = table.schema
+        ifc = self.db.ifc_enabled
+
+        targets = list(prepared.scan.versions(self, ctx))
+        count = 0
+        key_positions = self._referenced_key_positions(table)
+        for version in targets:
+            if ifc and not same_contamination(registry, version.label,
+                                              acting_label):
+                raise IFCViolation(
+                    "UPDATE on %s would modify a tuple with label %r; the "
+                    "acting label is %r (write rule, section 4.2)"
+                    % (table.name, version.label, acting_label))
+            if self.db.txn_manager.delete_conflicts(version, txn):
+                raise SerializationError(
+                    "concurrent update detected on %s (first committer wins)"
+                    % table.name)
+            row = list(version.values) + [version.label]
+            new_values = list(version.values)
+            for position, fn in prepared.assignments:
+                new_values[position] = fn(row, ctx)
+            new_values = fire_triggers(self.db, self, table, UPDATE, BEFORE,
+                                       version.values, tuple(new_values),
+                                       statement_label)
+            new_values = schema.coerce_row(new_values)
+
+            if ifc:
+                constraints.check_label_constraints(self.db, ctx, table,
+                                                    new_values, acting_label)
+            constraints.check_checks(self.db, ctx, table, new_values,
+                                     acting_label)
+            constraints.check_unique(self.db, self, table, new_values,
+                                     acting_label, exclude_tid=version.tid)
+            if self._fk_columns_changed(table, version.values, new_values):
+                constraints.check_fk_insert(self.db, self, table, new_values,
+                                            acting_label, EMPTY_LABEL)
+            if key_positions and any(
+                    version.values[p] != new_values[p]
+                    for p in key_positions):
+                constraints.check_fk_restrict(self.db, self, table,
+                                              version.values)
+
+            version.xmax = txn.xid
+            new_version = table.append(new_values, version.label,
+                                       version.ilabel, txn.xid)
+            txn.record_write(table.name, new_version.tid, new_version.label,
+                             "update")
+            count += 1
+            self.db.rows_updated += 1
+            fire_triggers(self.db, self, table, UPDATE, AFTER,
+                          version.values, new_values, statement_label)
+            fire_triggers(self.db, self, table, UPDATE, DEFERRED,
+                          version.values, new_values, statement_label)
+        return Result(rowcount=count)
+
+    def _fk_columns_changed(self, table, old_values, new_values) -> bool:
+        for fk in table.schema.foreign_keys:
+            for position in table.schema.positions_of(fk.columns):
+                if old_values[position] != new_values[position]:
+                    return True
+        return False
+
+    def _referenced_key_positions(self, table):
+        referencing = self.db.catalog.referencing_foreign_keys(table.name)
+        positions = set()
+        for _child, fk in referencing:
+            positions.update(table.schema.positions_of(fk.ref_columns))
+        return positions
+
+    # -- DELETE -----------------------------------------------------------
+    def _execute_delete(self, statement: ast.Delete, params: Tuple,
+                        sql: Optional[str]) -> Result:
+        table = self.db.catalog.get_table(statement.table)
+        prepared = self.db.prepare_dml(statement, sql)
+        ctx = self._context(params)
+        txn = self.transaction
+        registry = self.db.authority.tags
+        acting_label = self.label
+        statement_label = acting_label
+        ifc = self.db.ifc_enabled
+
+        targets = list(prepared.scan.versions(self, ctx))
+        count = 0
+        for version in targets:
+            if ifc and not same_contamination(registry, version.label,
+                                              acting_label):
+                raise IFCViolation(
+                    "DELETE on %s would remove a tuple with label %r; the "
+                    "acting label is %r (write rule, section 4.2)"
+                    % (table.name, version.label, acting_label))
+            if self.db.txn_manager.delete_conflicts(version, txn):
+                raise SerializationError(
+                    "concurrent delete detected on %s (first committer wins)"
+                    % table.name)
+            constraints.check_fk_restrict(self.db, self, table,
+                                          version.values)
+            fire_triggers(self.db, self, table, DELETE, BEFORE,
+                          version.values, None, statement_label)
+            version.xmax = txn.xid
+            txn.record_write(table.name, version.tid, version.label,
+                             "delete")
+            count += 1
+            self.db.rows_deleted += 1
+            fire_triggers(self.db, self, table, DELETE, AFTER,
+                          version.values, None, statement_label)
+            fire_triggers(self.db, self, table, DELETE, DEFERRED,
+                          version.values, None, statement_label)
+        return Result(rowcount=count)
+
+    # -- stored procedures ---------------------------------------------------
+    def _execute_call(self, statement: ast.Call, params: Tuple) -> Result:
+        from .expressions import Scope
+        compiler = self.db.planner.compiler(Scope())
+        ctx = self._context(params)
+        args = [compiler.compile(a)([], ctx) for a in statement.args]
+        value = self.call(statement.name, *args)
+        return Result(columns=["result"],
+                      rows=[Row([value], {"result": 0}, EMPTY_LABEL)],
+                      rowcount=1)
+
+    def call(self, procedure_name: str, *args):
+        """Invoke a stored procedure (section 4.3).
+
+        Ordinary procedures run with the caller's authority; stored
+        authority closures run with their bound principal's authority
+        (the label context stays the process's either way).
+        """
+        proc = self.db.catalog.get_procedure(procedure_name)
+        if proc.closure_principal is not None:
+            if self.process is not None:
+                return self.process.with_reduced_authority(
+                    proc.closure_principal, proc.fn, self, *args)
+            from .triggers import FixedActing
+            acting = FixedActing(self.db.authority, self.label, self.ilabel,
+                                 proc.closure_principal)
+            with self.acting_as(acting):
+                return proc.fn(self, *args)
+        return proc.fn(self, *args)
+
+    # -- the per-tuple label iterator (paper section 10, future work) -----
+    def for_each_with_label(self, sql: str, fn, params: Sequence = (),
+                            cover_tags: Sequence[int] = ()):
+        """Handle each selected tuple in its own context with that
+        tuple's label.
+
+        The paper's future-work iterator: a computation over many users'
+        data often wants to *write back* per-user results under each
+        user's own label, without ever mixing contaminations.  The query
+        runs in a probe context whose label is raised by ``cover_tags``
+        (typically a compound tag the caller is authoritative for); then
+        ``fn(row, scoped_session)`` runs once per row in an isolated
+        acting context carrying exactly that row's label — its writes
+        are labelled per-tuple, and nothing contaminates the caller.
+
+        Returns the list of ``fn`` results.
+        """
+        from .triggers import FixedActing
+        acting = self.acting
+        probe = FixedActing(self.db.authority,
+                            acting.label.union(Label(cover_tags)),
+                            acting.ilabel, acting.principal)
+        with self.acting_as(probe):
+            result = self.execute(sql, params)
+        outputs = []
+        for row in result.rows:
+            scoped = FixedActing(self.db.authority, row.label,
+                                 acting.ilabel, acting.principal)
+            with self.acting_as(scoped):
+                outputs.append(fn(row, self))
+        return outputs
+
+    def close(self) -> None:
+        if self.transaction is not None:
+            self.rollback()

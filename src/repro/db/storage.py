@@ -1,0 +1,153 @@
+"""Heap storage: tables as version chains with page accounting.
+
+A :class:`Table` owns its tuple versions (the heap), its page allocator,
+and its indexes.  All reads and writes of versions flow through
+:meth:`Table.touch`, which charges the engine's buffer cache — the hook
+the on-disk benchmark configuration (Figure 6) relies on.
+
+Vacuuming (the PostgreSQL garbage collector, which section 7.1 notes is
+exempt from the information flow rules) physically removes versions that
+are dead to every possible snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.labels import EMPTY_LABEL, Label
+from ..errors import CatalogError
+from .indexes import HashIndex, OrderedIndex
+from .pages import BufferCache, HeapPageAllocator
+from .schema import TableSchema
+from .tuples import TupleVersion
+
+
+class Table:
+    """A stored table: schema + heap + indexes."""
+
+    def __init__(self, schema: TableSchema, *, page_size: int,
+                 buffer_cache: BufferCache, store_labels: bool):
+        self.schema = schema
+        self.name = schema.name
+        self._versions: List[Optional[TupleVersion]] = []
+        self._allocator = HeapPageAllocator(schema.name, page_size)
+        self._buffer_cache = buffer_cache
+        self._store_labels = store_labels
+        self.indexes: Dict[str, object] = {}
+        self.unique_indexes: List[Tuple] = []   # (constraint, index)
+        self.polyinstantiation_count = 0
+        # Auto-create a unique hash index per uniqueness constraint.
+        for unique in schema.uniques:
+            index = HashIndex(
+                name="%s_%s_idx" % (schema.name, unique.name),
+                columns=unique.columns,
+                positions=schema.positions_of(unique.columns),
+                unique=True)
+            self.indexes[index.name] = index
+            self.unique_indexes.append((unique, index))
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, columns: Sequence[str],
+                     *, ordered: bool = False) -> object:
+        if name in self.indexes:
+            raise CatalogError("index %r already exists" % name)
+        positions = self.schema.positions_of(columns)
+        cls = OrderedIndex if ordered else HashIndex
+        index = cls(name=name, columns=columns, positions=positions)
+        # Backfill existing versions (all of them; indexes are
+        # version-blind, visibility filters at lookup time).
+        for version in self._versions:
+            if version is not None:
+                index.insert(version.values, version.tid)
+        self.indexes[name] = index
+        return index
+
+    def find_index(self, columns: Sequence[str],
+                   *, prefix_ok: bool = False):
+        """An index whose column list matches ``columns`` (or a prefix)."""
+        wanted = tuple(columns)
+        for index in self.indexes.values():
+            if index.columns == wanted:
+                return index
+        if prefix_ok:
+            for index in self.indexes.values():
+                if index.columns[:len(wanted)] == wanted:
+                    return index
+        return None
+
+    # ------------------------------------------------------------------
+    # heap operations
+    # ------------------------------------------------------------------
+    def touch(self, version: TupleVersion) -> None:
+        """Charge a page access for examining this version."""
+        self._buffer_cache.touch(self.name, version.page_id)
+
+    def append(self, values: Tuple, label: Label, ilabel: Label,
+               xid: int) -> TupleVersion:
+        """Write a new version into the heap and all indexes."""
+        data_size = self.schema.row_data_size(values)
+        version = TupleVersion(
+            tid=len(self._versions), xmin=xid, values=values,
+            label=label if self._store_labels else EMPTY_LABEL,
+            ilabel=ilabel if self._store_labels else EMPTY_LABEL,
+            data_size=data_size, store_label=self._store_labels)
+        version.page_id = self._allocator.place(version.size)
+        self._versions.append(version)
+        self.touch(version)
+        for index in self.indexes.values():
+            index.insert(values, version.tid)
+        return version
+
+    def version(self, tid: int) -> Optional[TupleVersion]:
+        return self._versions[tid]
+
+    def all_versions(self) -> Iterator[TupleVersion]:
+        for version in self._versions:
+            if version is not None:
+                yield version
+
+    def versions_for_tids(self, tids) -> Iterator[TupleVersion]:
+        versions = self._versions
+        for tid in tids:
+            version = versions[tid]
+            if version is not None:
+                yield version
+
+    @property
+    def version_count(self) -> int:
+        return sum(1 for v in self._versions if v is not None)
+
+    @property
+    def pages(self) -> int:
+        return self._allocator.pages_allocated
+
+    # ------------------------------------------------------------------
+    # vacuum
+    # ------------------------------------------------------------------
+    def vacuum(self, txn_manager) -> int:
+        """Physically remove versions invisible to every future snapshot.
+
+        A version is dead when its deleting transaction committed before
+        the oldest active xid, or its creating transaction aborted.  The
+        garbage collector is exempt from label rules (section 7.1).
+        """
+        horizon = txn_manager.oldest_active_xid()
+        removed = 0
+        for tid, version in enumerate(self._versions):
+            if version is None:
+                continue
+            dead = False
+            if txn_manager.is_aborted(version.xmin):
+                dead = True
+            elif (version.xmax is not None
+                  and txn_manager.is_committed(version.xmax)
+                  and version.xmax < horizon):
+                dead = True
+            if dead:
+                for index in self.indexes.values():
+                    index.remove(version.values, tid)
+                self._versions[tid] = None
+                removed += 1
+        return removed

@@ -1,0 +1,90 @@
+"""Label-synchronized database connections.
+
+A real IFDB deployment runs the platform and the DBMS in separate
+processes; the modified libpq carries the process label and principal to
+the server, coalescing changes and piggybacking them on the next
+statement (section 7.1).  Here both sides share the process object, so
+correctness needs no wire transfer — but the connection still *models*
+the protocol so its costs and cadence are observable:
+
+* before each statement, if the process's label epoch moved since the
+  last sync, exactly one :class:`LabelUpdate` message is recorded, no
+  matter how many label changes happened in between (the rest count as
+  coalesced);
+* each statement records a :class:`StatementMessage` and a
+  :class:`ResultMessage`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .protocol import LabelUpdate, ProtocolStats, ResultMessage, \
+    StatementMessage
+
+
+class IFConnection:
+    """A session plus the modelled label-sync protocol."""
+
+    def __init__(self, process, db):
+        self.process = process
+        self.db = db
+        self.session = db.connect(process)
+        self.stats = ProtocolStats()
+        self._synced_epoch = -1
+
+    # -- protocol modelling -------------------------------------------------
+    def _sync_label(self) -> None:
+        runtime = getattr(self.process, "runtime", None)
+        if runtime is not None and not runtime.ifc_enabled:
+            return                      # baseline: stock libpq, no label sync
+        epoch = self.process.label_epoch
+        if epoch == self._synced_epoch:
+            return
+        pending_changes = epoch - max(self._synced_epoch, 0)
+        if self._synced_epoch >= 0 and pending_changes > 1:
+            self.stats.label_changes_coalesced += pending_changes - 1
+        self.stats.label_updates_sent += 1
+        self.stats.record(LabelUpdate(
+            epoch=epoch,
+            label_tags=self.process.label.tags,
+            ilabel_tags=self.process.integrity_label.tags,
+            principal=self.process.principal))
+        self._synced_epoch = epoch
+
+    # -- statement API -------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()):
+        self._sync_label()
+        self.stats.statements_sent += 1
+        self.stats.record(StatementMessage(sql=sql, n_params=len(params)))
+        result = self.session.execute(sql, params)
+        self.stats.results_received += 1
+        self.stats.record(ResultMessage(rowcount=result.rowcount))
+        # The server may change the label too (stored procedures); the
+        # response piggybacks it back, which resynchronizes the epoch.
+        self._synced_epoch = self.process.label_epoch
+        return result
+
+    def query(self, sql: str, params: Sequence = ()):
+        return self.execute(sql, params).rows
+
+    def call(self, procedure: str, *args):
+        self._sync_label()
+        self.stats.statements_sent += 1
+        result = self.session.call(procedure, *args)
+        self.stats.results_received += 1
+        self._synced_epoch = self.process.label_epoch
+        return result
+
+    def begin(self, isolation: Optional[str] = None) -> None:
+        self.execute("BEGIN" if isolation is None else
+                     "BEGIN ISOLATION LEVEL %s" % isolation.upper())
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    def close(self) -> None:
+        self.session.close()

@@ -1,0 +1,54 @@
+"""The client/server label-sync protocol (section 7.1, low-level interface).
+
+IFDB extends PostgreSQL's wire protocol so the application platform and
+the DBMS can share the process's label and principal: "changes are
+coalesced and transmitted lazily with the next statement or result".
+
+In this reproduction the platform and engine share the process object
+in-memory, so the protocol is *modelled*: message objects are created
+with the same cadence a real deployment would send them, and counters
+let tests assert the lazy-coalescing behaviour (many label changes
+between statements produce exactly one update message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class LabelUpdate:
+    """Piggybacked label/principal synchronisation message."""
+
+    epoch: int
+    label_tags: frozenset
+    ilabel_tags: frozenset
+    principal: Optional[int]
+
+
+@dataclass
+class StatementMessage:
+    sql: str
+    n_params: int
+
+
+@dataclass
+class ResultMessage:
+    rowcount: int
+
+
+@dataclass
+class ProtocolStats:
+    """Counters for the modelled wire protocol."""
+
+    statements_sent: int = 0
+    results_received: int = 0
+    label_updates_sent: int = 0
+    label_changes_coalesced: int = 0     # changes that rode along for free
+    log: List[object] = field(default_factory=list)
+    keep_log: bool = False
+
+    def record(self, message) -> None:
+        if self.keep_log:
+            self.log.append(message)

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, statement AST, and parser."""
+
+from . import ast
+from .parser import parse_expression, parse_script, parse_statement
+
+__all__ = ["ast", "parse_expression", "parse_script", "parse_statement"]

@@ -1,0 +1,184 @@
+"""Closed-loop load generation in virtual time (TPC-W methodology).
+
+The paper measures "the maximum sustained throughput ... subject to the
+constraint that the 90th percentile response time stays under 3 seconds"
+(section 8.2.1).  Reproducing that against a pure-Python engine on one
+machine needs a *model* of the deployment: several weak web servers in
+front of one database server.
+
+This module implements a discrete-event simulation of a closed
+two-station queueing network:
+
+* ``clients`` closed-loop users: think → web tier → database → think…
+* the **web tier** has ``n_web_servers`` servers, each processing one
+  request at a time (Apache+PHP worker pools, CPU-bound);
+* the **database** is one station with ``db_concurrency`` service slots
+  (the paper's 16-core, disk-limited server).
+
+Per-request service demands (seconds of web CPU and of database time)
+are *measured* from the real handler implementations by
+:mod:`repro.bench.harness`, so the IFDB-vs-baseline difference in the
+simulation comes from actually executing both systems' code, not from
+assumed constants.
+
+Everything runs in virtual time with a seeded RNG: results are exactly
+reproducible and independent of the host machine's load.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cartel_mix import sample_request, sample_session_length, \
+    sample_think_time
+
+
+@dataclass(frozen=True)
+class ServiceDemand:
+    """Seconds of web-tier CPU and database time for one request type."""
+
+    web: float
+    db: float
+
+
+@dataclass
+class SimResult:
+    throughput: float          # completed web interactions per second
+    p90_response: float
+    mean_response: float
+    completed: int
+    clients: int
+
+
+class _Station:
+    """A multi-server FIFO station in the event simulation."""
+
+    def __init__(self, servers: int):
+        self.servers = servers
+        self.busy = 0
+        self.queue: List[Tuple[float, int]] = []   # (enqueue time, job id)
+
+
+class ClosedLoopSimulator:
+    """Closed-network simulation driving the Figure 4 experiment."""
+
+    def __init__(self, demands: Dict[str, ServiceDemand], *,
+                 n_web_servers: int = 1, db_concurrency: int = 8,
+                 seed: int = 0,
+                 request_sampler: Optional[Callable] = None):
+        self.demands = demands
+        self.n_web_servers = n_web_servers
+        self.db_concurrency = db_concurrency
+        self.seed = seed
+        self.request_sampler = request_sampler or sample_request
+
+    def run(self, clients: int, duration: float,
+            warmup_fraction: float = 0.2) -> SimResult:
+        rng = random.Random(self.seed)
+        events: List[Tuple[float, int, str, tuple]] = []
+        counter = 0
+
+        def push(time: float, kind: str, payload: tuple) -> None:
+            nonlocal counter
+            counter += 1
+            heapq.heappush(events, (time, counter, kind, payload))
+
+        web = _Station(self.n_web_servers)
+        dbs = _Station(self.db_concurrency)
+        responses: List[Tuple[float, float]] = []   # (finish time, rt)
+
+        # Each client starts with an initial stagger so the network does
+        # not phase-lock.
+        for client in range(clients):
+            push(rng.uniform(0, 5.0), "arrive", (client,))
+
+        warmup_end = duration * warmup_fraction
+
+        def start_web(now: float, client: int, t0: float) -> None:
+            path = self.request_sampler(rng)
+            demand = self.demands[path]
+            if web.busy < web.servers:
+                web.busy += 1
+                push(now + demand.web, "web_done", (client, t0, demand))
+            else:
+                web.queue.append((now, (client, t0, demand)))
+
+        def start_db(now: float, payload) -> None:
+            client, t0, demand = payload
+            if dbs.busy < dbs.servers:
+                dbs.busy += 1
+                push(now + demand.db, "db_done", (client, t0))
+            else:
+                dbs.queue.append((now, payload))
+
+        while events:
+            now, _seq, kind, payload = heapq.heappop(events)
+            if now > duration:
+                break
+            if kind == "arrive":
+                client = payload[0]
+                start_web(now, client, now)
+            elif kind == "web_done":
+                client, t0, demand = payload
+                web.busy -= 1
+                if web.queue:
+                    _enq, queued = web.queue.pop(0)
+                    web.busy += 1
+                    q_client, q_t0, q_demand = queued
+                    push(now + q_demand.web, "web_done", queued)
+                start_db(now, (client, t0, demand))
+            elif kind == "db_done":
+                client, t0 = payload
+                dbs.busy -= 1
+                if dbs.queue:
+                    _enq, queued = dbs.queue.pop(0)
+                    dbs.busy += 1
+                    push(now + queued[2].db, "db_done",
+                         (queued[0], queued[1]))
+                if now >= warmup_end:
+                    responses.append((now, now - t0))
+                push(now + sample_think_time(rng), "arrive", (client,))
+
+        window = duration - warmup_end
+        if not responses or window <= 0:
+            return SimResult(0.0, float("inf"), float("inf"), 0, clients)
+        rts = sorted(rt for _t, rt in responses)
+        p90 = rts[min(len(rts) - 1, int(0.9 * len(rts)))]
+        mean = sum(rts) / len(rts)
+        return SimResult(len(responses) / window, p90, mean,
+                         len(responses), clients)
+
+    def peak_throughput(self, *, max_p90: float = 3.0,
+                        duration: float = 2000.0,
+                        max_clients: int = 20000) -> SimResult:
+        """The TPC-W criterion: peak WIPS with p90 under ``max_p90``.
+
+        Grows the client population geometrically until the constraint
+        breaks, then bisects.
+        """
+        low, best = 1, None
+        clients = 4
+        while clients <= max_clients:
+            result = self.run(clients, duration)
+            if result.p90_response <= max_p90:
+                best = result
+                low = clients
+                clients *= 2
+            else:
+                break
+        else:
+            return best if best is not None else self.run(max_clients,
+                                                          duration)
+        high = clients
+        while high - low > max(1, low // 16):
+            mid = (low + high) // 2
+            result = self.run(mid, duration)
+            if result.p90_response <= max_p90:
+                best = result
+                low = mid
+            else:
+                high = mid
+        return best if best is not None else self.run(1, duration)

@@ -1,0 +1,180 @@
+"""Transactions (section 5.1): snapshot isolation, commit labels, the
+clearance rule, and the paper's covert-channel transaction."""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.db import SERIALIZABLE
+from repro.errors import (
+    ClearanceError,
+    IFCViolation,
+    SerializationError,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def plain(db):
+    session = db.connect()
+    session.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+    session.execute("INSERT INTO t VALUES (1, 10)")
+    return session
+
+
+class TestSnapshotIsolation:
+    def test_uncommitted_writes_invisible_to_others(self, db, plain):
+        other = db.connect()
+        plain.execute("BEGIN")
+        plain.execute("INSERT INTO t VALUES (2, 20)")
+        assert other.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        plain.execute("COMMIT")
+        assert other.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_snapshot_fixed_at_begin(self, db, plain):
+        reader = db.connect()
+        reader.execute("BEGIN")
+        reader.execute("SELECT COUNT(*) FROM t")
+        plain.execute("INSERT INTO t VALUES (2, 20)")
+        # Reader's snapshot predates the insert.
+        assert reader.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        reader.execute("COMMIT")
+        assert reader.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_own_writes_visible(self, plain):
+        plain.execute("BEGIN")
+        plain.execute("INSERT INTO t VALUES (2, 20)")
+        assert plain.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        plain.execute("ROLLBACK")
+
+    def test_rollback_discards(self, plain):
+        plain.execute("BEGIN")
+        plain.execute("UPDATE t SET b = 99 WHERE a = 1")
+        plain.execute("ROLLBACK")
+        assert plain.execute(
+            "SELECT b FROM t WHERE a = 1").scalar() == 10
+
+    def test_first_committer_wins(self, db, plain):
+        t1 = db.connect()
+        t2 = db.connect()
+        t1.execute("BEGIN")
+        t2.execute("BEGIN")
+        t1.execute("UPDATE t SET b = 1 WHERE a = 1")
+        with pytest.raises(SerializationError):
+            t2.execute("UPDATE t SET b = 2 WHERE a = 1")
+        t2.rollback()
+        t1.execute("COMMIT")
+        assert plain.execute("SELECT b FROM t WHERE a = 1").scalar() == 1
+
+    def test_conflict_with_committed_after_snapshot(self, db, plain):
+        t1 = db.connect()
+        t2 = db.connect()
+        t2.execute("BEGIN")
+        t2.execute("SELECT * FROM t")
+        t1.execute("UPDATE t SET b = 1 WHERE a = 1")        # autocommits
+        with pytest.raises(SerializationError):
+            t2.execute("UPDATE t SET b = 2 WHERE a = 1")
+
+    def test_transaction_state_machine(self, plain):
+        with pytest.raises(TransactionError):
+            plain.commit()
+        plain.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            plain.begin()
+        plain.rollback()
+
+    def test_atomic_context_manager(self, db, plain):
+        with pytest.raises(RuntimeError):
+            with plain.atomic():
+                plain.execute("INSERT INTO t VALUES (5, 50)")
+                raise RuntimeError("boom")
+        assert plain.execute(
+            "SELECT COUNT(*) FROM t WHERE a = 5").scalar() == 0
+
+
+class TestCommitLabels:
+    def test_paper_covert_channel_transaction_blocked(self, medical):
+        """The section 5.1 attack: write low, read high, commit-or-abort.
+
+        IFDB must refuse the commit because the commit label exceeds the
+        label of the previously written (empty-labelled) tuple."""
+        db = medical.db
+        clinic = db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        clinic.execute("CREATE TABLE Foo (msg TEXT PRIMARY KEY)")
+
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = db.connect(process)
+        session.execute("BEGIN")
+        session.execute("INSERT INTO Foo VALUES ('Alice has HIV')")
+        process.add_secrecy(medical.alice_medical.id)       # raise label
+        rows = session.query(
+            "SELECT * FROM HIVPatients WHERE patient_name = 'Alice'")
+        assert len(rows) == 1                                # she does
+        with pytest.raises(IFCViolation):
+            session.commit()                                 # blocked!
+        # Nothing leaked: the write never became visible.
+        assert clinic.execute("SELECT COUNT(*) FROM Foo").scalar() == 0
+
+    def test_commit_after_declassify_succeeds(self, medical):
+        db = medical.db
+        process = IFCProcess(medical.authority, medical.alice.id)
+        session = db.connect(process)
+        session.execute("BEGIN")
+        process.add_secrecy(medical.alice_medical.id)
+        session.execute(
+            "INSERT INTO HIVPatients VALUES ('A2', '1/1/01', 'hiv')")
+        process.declassify(medical.alice_medical.id)         # has authority
+        session.commit()                                     # {} ⊆ {alice}
+
+    def test_multi_label_transaction(self, medical):
+        """Labels can change mid-transaction to write differently
+        labelled tuples (the section 5.1 motivation)."""
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = medical.db.connect(process)
+        session.execute("BEGIN")
+        process.add_secrecy(medical.alice_medical.id)
+        session.execute(
+            "INSERT INTO HIVPatients VALUES ('A3', '1/1/03', 'x')")
+        process.declassify(medical.alice_medical.id)   # clinic: compound
+        process.add_secrecy(medical.bob_medical.id)
+        session.execute(
+            "INSERT INTO HIVPatients VALUES ('B3', '1/1/03', 'x')")
+        process.declassify(medical.bob_medical.id)
+        session.commit()
+
+    def test_delete_in_write_set(self, medical):
+        """Deletes are writes for the commit-label rule."""
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = medical.db.connect(process)
+        session.execute("BEGIN")
+        process.add_secrecy(medical.alice_medical.id)
+        session.execute("DELETE FROM HIVPatients WHERE patient_name='Alice'")
+        process.add_secrecy(medical.bob_medical.id)   # raise above write
+        with pytest.raises(IFCViolation):
+            session.commit()
+
+
+class TestClearanceRule:
+    def test_serializable_requires_authority_to_raise_label(self, medical):
+        """Section 5.1: under serializability, adding a tag requires
+        authority for it (conflicts leak transaction fate)."""
+        process = IFCProcess(medical.authority, medical.bob.id)
+        session = medical.db.connect(process)
+        session.execute("BEGIN ISOLATION LEVEL SERIALIZABLE")
+        with pytest.raises(ClearanceError):
+            process.add_secrecy(medical.alice_medical.id)   # not bob's
+        process.add_secrecy(medical.bob_medical.id)          # his own: fine
+        session.rollback()
+
+    def test_snapshot_isolation_exempt(self, medical):
+        """The prototype's snapshot isolation doesn't need the rule."""
+        process = IFCProcess(medical.authority, medical.bob.id)
+        session = medical.db.connect(process)
+        session.execute("BEGIN")
+        process.add_secrecy(medical.alice_medical.id)        # allowed
+        session.rollback()
+
+    def test_no_transaction_exempt(self, medical):
+        process = IFCProcess(medical.authority, medical.bob.id)
+        medical.db.connect(process)          # attach a session
+        process.add_secrecy(medical.alice_medical.id)        # allowed

@@ -1,0 +1,192 @@
+"""Triggers (section 5.2.3): ordinary, closure, and deferred timing."""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.db.catalog import AFTER, BEFORE, DEFERRED
+from repro.errors import CheckViolation, IFCViolation
+
+
+@pytest.fixture
+def world(authority, db):
+    alice = authority.create_principal("alice")
+    tag = authority.create_tag("alice_tag", owner=alice.id)
+    admin = db.connect(IFCProcess(authority, alice.id))
+    admin.execute("CREATE TABLE Audit (n INT PRIMARY KEY, what TEXT)")
+    admin.execute("CREATE TABLE Data (x INT PRIMARY KEY, y INT)")
+    return authority, db, alice, tag
+
+
+class TestBeforeTriggers:
+    def test_before_trigger_can_modify_row(self, world):
+        _authority, db, _alice, _tag = world
+
+        def double(ctx):
+            return {"y": ctx.new["y"] * 2}
+
+        db.create_trigger("double_y", "Data", "insert", BEFORE, double)
+        session = db.connect()
+        session.execute("INSERT INTO Data VALUES (1, 21)")
+        assert session.execute(
+            "SELECT y FROM Data WHERE x = 1").scalar() == 42
+
+    def test_before_trigger_can_veto(self, world):
+        _authority, db, *_ = world
+
+        def veto(ctx):
+            if ctx.new["y"] < 0:
+                raise CheckViolation("negative y")
+
+        db.create_trigger("no_negative", "Data", "insert", BEFORE, veto)
+        session = db.connect()
+        with pytest.raises(CheckViolation):
+            session.execute("INSERT INTO Data VALUES (1, -1)")
+
+
+class TestOrdinaryTriggers:
+    def test_ordinary_trigger_runs_with_caller_label(self, world):
+        """An ordinary trigger's writes carry the firing statement's
+        label — it cannot leak what the caller couldn't."""
+        authority, db, alice, tag = world
+        fired = []
+
+        def audit(ctx):
+            fired.append(ctx.acting.label)
+            ctx.session.insert("Audit", n=len(fired), what="insert")
+
+        db.create_trigger("audit_ins", "Data", "insert", AFTER, audit)
+        process = IFCProcess(authority, alice.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        session.execute("INSERT INTO Data VALUES (1, 1)")
+        assert fired == [Label([tag.id])]
+        # The audit row was written under the same label.
+        audit_row = next(db.catalog.get_table("Audit").all_versions())
+        assert audit_row.label == Label([tag.id])
+
+    def test_trigger_sees_old_and_new(self, world):
+        _authority, db, *_ = world
+        seen = []
+
+        def watch(ctx):
+            seen.append((ctx.old["y"], ctx.new["y"]))
+
+        db.create_trigger("watch_upd", "Data", "update", AFTER, watch)
+        session = db.connect()
+        session.execute("INSERT INTO Data VALUES (1, 10)")
+        session.execute("UPDATE Data SET y = 20 WHERE x = 1")
+        assert seen == [(10, 20)]
+
+    def test_delete_trigger(self, world):
+        _authority, db, *_ = world
+        deleted = []
+
+        def on_delete(ctx):
+            deleted.append(ctx.old["x"])
+
+        db.create_trigger("on_del", "Data", "delete", AFTER, on_delete)
+        session = db.connect()
+        session.execute("INSERT INTO Data VALUES (7, 0)")
+        session.execute("DELETE FROM Data WHERE x = 7")
+        assert deleted == [7]
+
+
+class TestClosureTriggers:
+    def test_closure_contamination_is_isolated(self, world):
+        """Section 8.2.2: closure triggers read sensitive data 'without
+        contaminating the process performing the insert'."""
+        authority, db, alice, tag = world
+        closure_principal = authority.create_principal("closure")
+        authority.delegate(tag.id, alice.id, closure_principal.id)
+
+        def snoop(ctx):
+            ctx.add_secrecy(tag.id)      # contaminate the trigger context
+            assert tag.id in ctx.acting.label
+
+        db.create_trigger("snoop", "Data", "insert", AFTER, snoop,
+                          closure_principal=closure_principal.id)
+        process = IFCProcess(authority, alice.id)
+        session = db.connect(process)
+        session.execute("INSERT INTO Data VALUES (1, 1)")
+        assert len(process.label) == 0          # firing process untouched
+
+    def test_closure_can_declassify_with_bound_authority(self, world):
+        authority, db, alice, tag = world
+        closure_principal = authority.create_principal("closure")
+        authority.delegate(tag.id, alice.id, closure_principal.id)
+        wrote = []
+
+        def launder(ctx):
+            # Statement label is {alice_tag}; the closure declassifies it
+            # and writes a public audit record.
+            ctx.declassify(tag.id)
+            ctx.session.insert("Audit", n=1, what="summary")
+            wrote.append(True)
+
+        db.create_trigger("launder", "Data", "insert", AFTER, launder,
+                          closure_principal=closure_principal.id)
+        process = IFCProcess(authority, alice.id)
+        session = db.connect(process)
+        # The commit-label rule applies to the closure's public write
+        # too, so the process must lower its label before COMMIT —
+        # exactly how CarTel's ingest daemon behaves (section 8.2.2).
+        session.execute("BEGIN")
+        process.add_secrecy(tag.id)
+        session.execute("INSERT INTO Data VALUES (1, 1)")
+        process.declassify(tag.id)
+        session.commit()
+        assert wrote
+        audit_row = next(db.catalog.get_table("Audit").all_versions())
+        assert len(audit_row.label) == 0
+
+    def test_closure_without_authority_cannot_declassify(self, world):
+        authority, db, alice, tag = world
+        closure_principal = authority.create_principal("weak-closure")
+
+        def try_declassify(ctx):
+            ctx.declassify(tag.id)
+
+        db.create_trigger("weak", "Data", "insert", AFTER, try_declassify,
+                          closure_principal=closure_principal.id)
+        process = IFCProcess(authority, alice.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        from repro.errors import AuthorityError
+        with pytest.raises(AuthorityError):
+            session.execute("INSERT INTO Data VALUES (1, 1)")
+
+
+class TestDeferredTriggers:
+    def test_deferred_runs_at_commit_with_statement_label(self, world):
+        """Section 5.2.3: deferred triggers run with the label of the
+        *query*, not the commit label."""
+        authority, db, alice, tag = world
+        observed = []
+
+        def deferred(ctx):
+            observed.append(ctx.acting.label)
+
+        db.create_trigger("dfr", "Data", "insert", DEFERRED, deferred)
+        process = IFCProcess(authority, alice.id)
+        session = db.connect(process)
+        session.execute("BEGIN")
+        process.add_secrecy(tag.id)
+        session.execute("INSERT INTO Data VALUES (1, 1)")
+        process.declassify(tag.id)          # commit label will be {}
+        assert observed == []                # not yet fired
+        session.commit()
+        assert observed == [Label([tag.id])]   # statement label preserved
+
+    def test_deferred_failure_aborts_transaction(self, world):
+        _authority, db, *_ = world
+
+        def explode(ctx):
+            raise CheckViolation("deferred check failed")
+
+        db.create_trigger("boom", "Data", "insert", DEFERRED, explode)
+        session = db.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO Data VALUES (1, 1)")
+        with pytest.raises(CheckViolation):
+            session.commit()
+        assert session.execute("SELECT COUNT(*) FROM Data").scalar() == 0

@@ -1,0 +1,181 @@
+"""Views (sections 4.3-4.4): standard views, declassifying views, and
+the outer-join data-independence pattern."""
+
+import pytest
+
+from repro.core import EMPTY_LABEL, IFCProcess, Label
+from repro.errors import AuthorityError
+
+
+@pytest.fixture
+def contacts(authority, db):
+    """A HotCRP-style ContactInfo table with per-user contact tags."""
+    service = authority.create_principal("service")
+    all_contacts = authority.create_compound_tag("all_contacts",
+                                                 owner=service.id)
+    admin = db.connect(IFCProcess(authority, service.id))
+    admin.execute(
+        "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY, "
+        "firstName TEXT, lastName TEXT, phone TEXT, isPC BOOLEAN)")
+    people = []
+    for i, (first, last, pc) in enumerate(
+            [("Ann", "Zed", True), ("Ben", "Young", True),
+             ("Cat", "Xu", False)], start=1):
+        principal = authority.create_principal("user%d" % i)
+        tag = authority.create_tag("c%d-contact" % i, owner=principal.id,
+                                   compounds=(all_contacts.id,),
+                                   creator=service.id)
+        process = IFCProcess(authority, principal.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        session.execute(
+            "INSERT INTO ContactInfo VALUES (?, ?, ?, '555', ?)",
+            (i, first, last, pc))
+        people.append((principal, tag))
+    return authority, db, service, all_contacts, people
+
+
+class TestDeclassifyingViews:
+    def test_pcmembers_view(self, contacts):
+        """The paper's PCMembers example (section 4.3)."""
+        authority, db, service, all_contacts, _people = contacts
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE VIEW PCMembers AS SELECT firstName, lastName "
+            "FROM ContactInfo WHERE isPC = TRUE "
+            "WITH DECLASSIFYING (all_contacts)")
+        nobody = db.connect()          # empty label, no authority
+        rows = nobody.query("SELECT * FROM PCMembers ORDER BY lastName")
+        assert [list(r) for r in rows] == [["Ben", "Young"], ["Ann", "Zed"]]
+
+    def test_view_rows_carry_stripped_label(self, contacts):
+        authority, db, service, all_contacts, _people = contacts
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE VIEW PCMembers AS SELECT firstName FROM ContactInfo "
+            "WHERE isPC = TRUE WITH DECLASSIFYING (all_contacts)")
+        nobody = db.connect()
+        for row in nobody.query("SELECT * FROM PCMembers"):
+            assert row.label == EMPTY_LABEL
+
+    def test_creation_requires_authority(self, contacts):
+        authority, db, _service, _all, people = contacts
+        principal, _tag = people[0]
+        user_session = db.connect(IFCProcess(authority, principal.id))
+        with pytest.raises(AuthorityError):
+            user_session.execute(
+                "CREATE VIEW Leak AS SELECT phone FROM ContactInfo "
+                "WITH DECLASSIFYING (all_contacts)")
+
+    def test_revocation_disables_view(self, contacts):
+        authority, db, service, all_contacts, _people = contacts
+        helper = authority.create_principal("helper")
+        authority.delegate(all_contacts.id, service.id, helper.id)
+        helper_session = db.connect(IFCProcess(authority, helper.id))
+        helper_session.execute(
+            "CREATE VIEW PC2 AS SELECT firstName FROM ContactInfo "
+            "WHERE isPC = TRUE WITH DECLASSIFYING (all_contacts)")
+        nobody = db.connect()
+        assert len(nobody.query("SELECT * FROM PC2")) == 2
+        authority.revoke(all_contacts.id, service.id, helper.id)
+        with pytest.raises(AuthorityError):
+            nobody.query("SELECT * FROM PC2")
+
+    def test_without_view_table_is_hidden(self, contacts):
+        _authority, db, *_ = contacts
+        nobody = db.connect()
+        assert nobody.query("SELECT * FROM ContactInfo") == []
+
+    def test_view_with_joins_and_aggregates(self, contacts):
+        authority, db, service, all_contacts, _people = contacts
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE VIEW PCCount AS SELECT COUNT(*) AS n FROM ContactInfo "
+            "WHERE isPC = TRUE WITH DECLASSIFYING (all_contacts)")
+        nobody = db.connect()
+        assert nobody.execute("SELECT n FROM PCCount").scalar() == 2
+
+
+class TestStandardViews:
+    def test_plain_view_preserves_labels(self, contacts):
+        authority, db, service, _all, people = contacts
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE VIEW Names AS SELECT firstName FROM ContactInfo")
+        nobody = db.connect()
+        assert nobody.query("SELECT * FROM Names") == []
+        principal, tag = people[0]
+        process = IFCProcess(authority, principal.id)
+        process.add_secrecy(tag.id)
+        own = db.connect(process)
+        assert len(own.query("SELECT * FROM Names")) == 1
+
+    def test_view_on_view(self, contacts):
+        authority, db, service, all_contacts, _people = contacts
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE VIEW PCMembers AS SELECT firstName, lastName "
+            "FROM ContactInfo WHERE isPC = TRUE "
+            "WITH DECLASSIFYING (all_contacts)")
+        admin.execute(
+            "CREATE VIEW PCFirst AS SELECT firstName FROM PCMembers")
+        nobody = db.connect()
+        assert len(nobody.query("SELECT * FROM PCFirst")) == 2
+
+
+class TestDataIndependence:
+    """Section 4.4: outer joins simulate field-level labels."""
+
+    @pytest.fixture
+    def payment_contact(self, authority, db):
+        user = authority.create_principal("user")
+        t_pay = authority.create_tag("u-payment", owner=user.id)
+        t_contact = authority.create_tag("u-contact", owner=user.id)
+        admin = db.connect(IFCProcess(authority, user.id))
+        admin.execute("CREATE TABLE Payment (uid INT PRIMARY KEY, "
+                      "card TEXT)")
+        admin.execute("CREATE TABLE Contact (uid INT PRIMARY KEY, "
+                      "email TEXT)")
+        process = IFCProcess(authority, user.id)
+        session = db.connect(process)
+        process.add_secrecy(t_pay.id)
+        session.execute("INSERT INTO Payment VALUES (1, '4111')")
+        process.declassify(t_pay.id)
+        process.add_secrecy(t_contact.id)
+        session.execute("INSERT INTO Contact VALUES (1, 'u@x.org')")
+        process.declassify(t_contact.id)
+        admin.execute(
+            "CREATE VIEW PaymentContact AS "
+            "SELECT p.uid AS uid, p.card AS card, c.email AS email "
+            "FROM Payment p LEFT JOIN Contact c ON c.uid = p.uid")
+        return authority, db, user, t_pay, t_contact
+
+    def test_nulls_in_place_of_invisible_fields(self, payment_contact):
+        """A process with only payment tags sees NULL contact fields
+        (the SeaView-like field-level semantics, section 4.4)."""
+        authority, db, user, t_pay, _t_contact = payment_contact
+        process = IFCProcess(authority, user.id)
+        process.add_secrecy(t_pay.id)
+        session = db.connect(process)
+        row = session.execute("SELECT * FROM PaymentContact").first()
+        assert list(row) == [1, "4111", None]
+
+    def test_full_label_sees_everything(self, payment_contact):
+        authority, db, user, t_pay, t_contact = payment_contact
+        process = IFCProcess(authority, user.id)
+        process.add_secrecy(t_pay.id)
+        process.add_secrecy(t_contact.id)
+        session = db.connect(process)
+        row = session.execute("SELECT * FROM PaymentContact").first()
+        assert list(row) == [1, "4111", "u@x.org"]
+
+    def test_joined_row_label_is_union(self, payment_contact):
+        authority, db, user, t_pay, t_contact = payment_contact
+        process = IFCProcess(authority, user.id)
+        process.add_secrecy(t_pay.id)
+        process.add_secrecy(t_contact.id)
+        session = db.connect(process)
+        row = session.execute(
+            "SELECT p.card, c.email FROM Payment p "
+            "JOIN Contact c ON c.uid = p.uid").first()
+        assert row.label == Label([t_pay.id, t_contact.id])

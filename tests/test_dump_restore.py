@@ -1,0 +1,114 @@
+"""Label-preserving dump/restore and psql-style describe (section 7.2)."""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.db import Database
+from repro.db.dump import (
+    describe,
+    dump_database,
+    dump_to_file,
+    restore_database,
+    restore_from_file,
+)
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def populated(medical):
+    """The medical scenario plus a referencing table and a view."""
+    admin = medical.db.connect(
+        IFCProcess(medical.authority, medical.clinic.id))
+    admin.execute(
+        "CREATE TABLE Visits (vid INT PRIMARY KEY, patient_name TEXT)")
+    admin.execute("CREATE INDEX visits_by_name ON Visits (patient_name)")
+    admin.execute("INSERT INTO Visits VALUES (1, 'Alice')")
+    admin.execute(
+        "CREATE VIEW PatientCount AS SELECT COUNT(*) AS n "
+        "FROM HIVPatients WITH DECLASSIFYING (all_medical)")
+    return medical
+
+
+class TestDumpRestore:
+    def test_roundtrip_preserves_tuples_and_labels(self, populated):
+        data = dump_database(populated.db)
+        fresh = Database(populated.authority, seed=1)
+        restore_database(data, fresh)
+        # Labels intact: Bob's row only visible with Bob's tag.
+        empty = fresh.connect(
+            IFCProcess(populated.authority, populated.clinic.id))
+        assert empty.query("SELECT * FROM HIVPatients") == []
+        bob = fresh.connect(populated.process_for(populated.bob,
+                                                  populated.bob_medical))
+        rows = bob.query("SELECT patient_name, _label FROM HIVPatients")
+        assert len(rows) == 1
+        assert rows[0][1] == Label([populated.bob_medical.id])
+
+    def test_roundtrip_preserves_constraints(self, populated):
+        fresh = Database(populated.authority, seed=2)
+        restore_database(dump_database(populated.db), fresh)
+        session = fresh.connect(
+            IFCProcess(populated.authority, populated.clinic.id))
+        from repro.errors import UniqueViolation
+        session.execute("INSERT INTO Visits VALUES (2, 'Bob')")
+        with pytest.raises(UniqueViolation):
+            session.execute("INSERT INTO Visits VALUES (2, 'Dup')")
+
+    def test_roundtrip_preserves_views(self, populated):
+        fresh = Database(populated.authority, seed=3)
+        restore_database(dump_database(populated.db), fresh)
+        session = fresh.connect(
+            IFCProcess(populated.authority, populated.clinic.id))
+        assert session.execute(
+            "SELECT n FROM PatientCount").scalar() == 3
+
+    def test_roundtrip_preserves_secondary_indexes(self, populated):
+        fresh = Database(populated.authority, seed=4)
+        restore_database(dump_database(populated.db), fresh)
+        table = fresh.catalog.get_table("Visits")
+        assert table.find_index(("patient_name",)) is not None
+
+    def test_dead_versions_not_dumped(self, medical):
+        session = medical.db.connect(
+            medical.process_for(medical.alice, medical.alice_medical))
+        session.execute(
+            "UPDATE HIVPatients SET condition = 'x' "
+            "WHERE patient_name = 'Alice'")
+        fresh = Database(medical.authority, seed=5)
+        restore_database(dump_database(medical.db), fresh)
+        table = fresh.catalog.get_table("HIVPatients")
+        assert table.version_count == 3       # one live version per row
+
+    def test_restore_requires_empty_database(self, populated):
+        data = dump_database(populated.db)
+        occupied = Database(populated.authority, seed=6)
+        occupied.connect().execute("CREATE TABLE t (x INT)")
+        with pytest.raises(DatabaseError):
+            restore_database(data, occupied)
+
+    def test_file_roundtrip(self, populated, tmp_path):
+        path = str(tmp_path / "backup.ifdb")
+        dump_to_file(populated.db, path)
+        fresh = Database(populated.authority, seed=7)
+        restore_from_file(path, fresh)
+        assert "HIVPatients" in fresh.catalog.tables
+
+    def test_garbage_rejected(self, populated):
+        with pytest.raises(Exception):
+            restore_database(b"not a dump", Database(populated.authority))
+
+
+class TestDescribe:
+    def test_describe_shows_label_histogram(self, medical):
+        text = describe(medical.db, "HIVPatients")
+        assert "HIVPatients" in text
+        assert "alice_medical" in text
+        assert "live tuples: 3" in text
+
+    def test_describe_notes_polyinstantiation(self, medical):
+        session = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        session.execute(
+            "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60', 'x')")
+        text = describe(medical.db, "HIVPatients")
+        assert "polyinstantiated inserts: 1" in text

@@ -1,0 +1,173 @@
+"""Expression evaluation semantics: SQL NULL logic, LIKE, CASE, and the
+compiler's name resolution."""
+
+import pytest
+
+from repro.db import expressions as ex
+from repro.errors import CatalogError, DatabaseError
+from repro.sql.parser import parse_expression
+
+
+class _Ctx:
+    """Minimal execution context for standalone expression evaluation."""
+
+    def __init__(self, params=()):
+        self.params = tuple(params)
+        self.outer_stack = []
+        self.registry = None
+
+    def now(self):
+        return 123.0
+
+
+def evaluate(sql, row=None, columns=(), params=()):
+    scope = ex.Scope()
+    if columns:
+        scope.add_table("t", list(columns))
+    compiler = ex.ExprCompiler(scope)
+    fn = compiler.compile(parse_expression(sql))
+    values = list(row or [])
+    if columns:
+        values = values + [None]       # the _label pseudo-column slot
+    return fn(values, _Ctx(params))
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        assert evaluate("1 + 2 * 3 - 4") == 3
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("7 / 2") == 3.5
+        assert evaluate("7 % 3") == 1
+        assert evaluate("-(2 + 3)") == -5
+
+    def test_string_concat(self):
+        assert evaluate("'a' || 'b' || 'c'") == "abc"
+        assert evaluate("'n=' || 5") == "n=5"
+
+    def test_comparisons(self):
+        assert evaluate("3 > 2") is True
+        assert evaluate("3 <> 3") is False
+        assert evaluate("'abc' < 'abd'") is True
+
+
+class TestNullLogic:
+    def test_null_propagates_through_operators(self):
+        assert evaluate("NULL + 1") is None
+        assert evaluate("NULL = NULL") is None
+        assert evaluate("1 < NULL") is None
+        assert evaluate("-(NULL)") is None
+
+    def test_three_valued_and_or(self):
+        assert evaluate("TRUE AND NULL") is None
+        assert evaluate("FALSE AND NULL") is False
+        assert evaluate("TRUE OR NULL") is True
+        assert evaluate("FALSE OR NULL") is None
+        assert evaluate("NOT NULL") is None
+
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NULL") is False
+        assert evaluate("1 IS NOT NULL") is True
+
+    def test_in_list_with_nulls(self):
+        assert evaluate("1 IN (1, NULL)") is True
+        assert evaluate("2 IN (1, NULL)") is None     # unknown
+        assert evaluate("2 NOT IN (1, 3)") is True
+        assert evaluate("NULL IN (1)") is None
+
+    def test_between_null(self):
+        assert evaluate("NULL BETWEEN 1 AND 2") is None
+        assert evaluate("5 BETWEEN 1 AND 10") is True
+        assert evaluate("5 NOT BETWEEN 1 AND 10") is False
+
+    def test_coalesce(self):
+        assert evaluate("COALESCE(NULL, NULL, 7, 9)") == 7
+        assert evaluate("COALESCE(NULL, NULL)") is None
+
+
+class TestLike:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%llo", True),
+        ("hello", "h_llo", True),
+        ("hello", "h_l", False),
+        ("h.llo", "h.llo", True),       # dots are literal
+        ("xyz", "%", True),
+        ("", "%", True),
+        ("abc", "a%c", True),
+    ])
+    def test_like(self, value, pattern, expected):
+        assert evaluate("'%s' LIKE '%s'" % (value, pattern)) is expected
+
+    def test_not_like_and_null(self):
+        assert evaluate("'abc' NOT LIKE 'a%'") is False
+        assert evaluate("NULL LIKE 'a'") is None
+
+
+class TestCase:
+    def test_first_match_wins(self):
+        assert evaluate(
+            "CASE WHEN 1 = 2 THEN 'a' WHEN 2 = 2 THEN 'b' "
+            "ELSE 'c' END") == "b"
+
+    def test_no_match_no_else_is_null(self):
+        assert evaluate("CASE WHEN FALSE THEN 1 END") is None
+
+
+class TestColumnsAndParams:
+    def test_column_resolution(self):
+        assert evaluate("a + b", row=[3, 4], columns=("a", "b")) == 7
+        assert evaluate("t.a * 2", row=[3, 4], columns=("a", "b")) == 6
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            evaluate("zz", row=[1], columns=("a",))
+
+    def test_params_positional(self):
+        assert evaluate("? + ?", params=(10, 20)) == 30
+
+    def test_missing_param_raises(self):
+        with pytest.raises(DatabaseError):
+            evaluate("? + 1", params=())
+
+    def test_builtins(self):
+        assert evaluate("MOD(10, 3)") == 1
+        assert evaluate("FLOOR(2.7)") == 2.0
+        assert evaluate("CEIL(2.1)") == 3.0
+        assert evaluate("TRIM('  x  ')") == "x"
+        assert evaluate("NOW()") == 123.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(CatalogError):
+            evaluate("NO_SUCH_FN(1)")
+
+
+class TestRewriteAndCollect:
+    def test_structural_equality_for_group_by(self):
+        a = parse_expression("x + 1")
+        b = parse_expression("x + 1")
+        c = parse_expression("x + 2")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_collect_aggregates_dedupes(self):
+        expr = parse_expression("SUM(x) + SUM(x) + COUNT(*)")
+        out = []
+        ex.collect_aggregates(expr, out)
+        assert len(out) == 2
+
+    def test_rewrite_replaces_subtrees(self):
+        expr = parse_expression("SUM(x) * 2")
+        aggregates = []
+        ex.collect_aggregates(expr, aggregates)
+        rewritten = ex.rewrite(expr, {aggregates[0]: ex.SlotRef(0)})
+        scope = ex.Scope()
+        fn = ex.ExprCompiler(scope).compile(rewritten)
+        assert fn([21], _Ctx()) == 42
+
+    def test_rewrite_rejects_stray_aggregate(self):
+        expr = parse_expression("SUM(x)")
+        with pytest.raises(DatabaseError):
+            ex.rewrite(expr, {})

@@ -1,0 +1,125 @@
+"""End-to-end HotCRP tests (section 6.2): the declassifying view, the
+decision tags, and the two leak regressions the paper reintroduced."""
+
+import pytest
+
+from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
+from repro.db import Database
+from repro.platform import IFRuntime
+from repro.apps.hotcrp import HotCRPApp
+
+
+@pytest.fixture
+def hotcrp():
+    authority = AuthorityState(idgen=SeededIdGenerator(88))
+    db = Database(authority, seed=88)
+    runtime = IFRuntime(authority)
+    app = HotCRPApp(db, runtime)
+    app.register("chair@c.org", "pw", first="Carol", last="Chair",
+                 is_pc=True, is_chair=True)
+    app.register("pc@c.org", "pw", first="Pat", last="Member", is_pc=True)
+    app.register("alice@u.edu", "pw", first="Alice", last="Author")
+    p1 = app.submit_paper("alice@u.edu", "IFDB Reproduction")
+    p2 = app.submit_paper("pc@c.org", "Conflicted Paper")
+    app.add_review("pc@c.org", p1, 5, "accept it")
+    app.add_review("chair@c.org", p2, 2, "meh")
+    return app, p1, p2
+
+
+class TestContactProtection:
+    def test_pc_members_view_is_public(self, hotcrp):
+        app, *_ = hotcrp
+        names = app.pc_members("alice@u.edu")
+        assert ("Carol", "Chair") in names
+        assert ("Pat", "Member") in names
+
+    def test_raw_contact_info_hidden(self, hotcrp):
+        """The original bug: any user could read full contact info.
+        Under IFDB the base table yields nothing to other users."""
+        app, *_ = hotcrp
+        _process, session = app.session_for("alice@u.edu")
+        assert session.query("SELECT phone FROM ContactInfo") == []
+
+    def test_own_contact_info_visible_with_own_tag(self, hotcrp):
+        app, *_ = hotcrp
+        from repro.apps.hotcrp import contact_tag_name
+        process, session = app.session_for("alice@u.edu")
+        tag = app.authority.tags.lookup(
+            contact_tag_name(app.contact_of("alice@u.edu")))
+        process.add_secrecy(tag.id)
+        rows = session.query("SELECT email FROM ContactInfo")
+        assert [r[0] for r in rows] == ["alice@u.edu"]
+
+
+class TestDecisions:
+    def test_sort_by_status_leak_prevented(self, hotcrp):
+        """Regression 1 (section 6.2): sorting papers by status must not
+        reveal unreleased decisions."""
+        app, p1, p2 = hotcrp
+        app.record_decision(p1, "accept")
+        app.record_decision(p2, "reject")
+        listing = app.papers_by_status("alice@u.edu")
+        assert all(entry["status"] is None for entry in listing)
+
+    def test_search_leak_prevented(self, hotcrp):
+        """Regression 2: the search feature must not match hidden
+        decisions."""
+        app, p1, _p2 = hotcrp
+        app.record_decision(p1, "accept")
+        assert app.search_decided("alice@u.edu", "accept") == []
+        assert app.search_decided("alice@u.edu", "reject") == []
+
+    def test_release_makes_decision_visible_to_author(self, hotcrp):
+        app, p1, _p2 = hotcrp
+        app.record_decision(p1, "accept")
+        app.release_decision(p1)
+        listing = app.papers_by_status("alice@u.edu")
+        by_paper = {e["paper"]: e["status"] for e in listing}
+        assert by_paper[p1] == "accept"
+
+    def test_release_is_per_paper(self, hotcrp):
+        app, p1, p2 = hotcrp
+        app.record_decision(p1, "accept")
+        app.record_decision(p2, "reject")
+        app.release_decision(p1)
+        listing = app.papers_by_status("pc@c.org")
+        by_paper = {e["paper"]: e["status"] for e in listing}
+        assert by_paper.get(p2) is None       # pc's own paper: still hidden
+
+    def test_chair_sees_decisions(self, hotcrp):
+        app, p1, _p2 = hotcrp
+        app.record_decision(p1, "accept")
+        from repro.apps.hotcrp import decision_tag_name
+        process, session = app.session_for("chair@c.org")
+        tag = app.authority.tags.lookup(decision_tag_name(p1))
+        process.add_secrecy(tag.id)
+        assert session.execute(
+            "SELECT outcome FROM Decisions WHERE paperId = ?",
+            (p1,)).scalar() == "accept"
+
+
+class TestReviews:
+    def test_author_cannot_see_reviews(self, hotcrp):
+        app, p1, _p2 = hotcrp
+        assert app.my_reviews("alice@u.edu", p1) == []
+
+    def test_reviewer_and_chair_see_review(self, hotcrp):
+        app, p1, _p2 = hotcrp
+        assert len(app.my_reviews("pc@c.org", p1)) == 1
+        assert len(app.my_reviews("chair@c.org", p1)) == 1
+
+    def test_delegation_respects_conflicts(self, hotcrp):
+        app, p1, p2 = hotcrp
+        assert app.my_reviews("pc@c.org", p2) == []      # conflicted
+        app.delegate_reviews_to_pc()
+        assert len(app.my_reviews("pc@c.org", p1)) == 1  # no conflict
+        assert app.my_reviews("pc@c.org", p2) == []      # still conflicted
+
+    def test_email_uniqueness_is_per_label(self, hotcrp):
+        """Contact rows carry per-user labels, so email uniqueness can
+        only polyinstantiate, never leak (section 5.2.1)."""
+        app, *_ = hotcrp
+        table = app.db.catalog.get_table("ContactInfo")
+        before = table.polyinstantiation_count
+        app.register("alice@u.edu", "pw2", first="Fake", last="Alice")
+        assert table.polyinstantiation_count > before

@@ -1,0 +1,88 @@
+"""The per-tuple label iterator (paper section 10's future-work feature).
+
+"A special iterator where each tuple selected by a query is handled in
+its own context with that tuple's label."
+"""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.errors import IFCViolation
+
+
+@pytest.fixture
+def world(authority, db):
+    service = authority.create_principal("service")
+    compound = authority.create_compound_tag("all_data", owner=service.id)
+    users = []
+    admin = db.connect(IFCProcess(authority, service.id))
+    admin.execute("CREATE TABLE Raw (uid INT PRIMARY KEY, v INT)")
+    admin.execute("CREATE TABLE Summaries (uid INT PRIMARY KEY, total INT)")
+    for uid in (1, 2, 3):
+        principal = authority.create_principal("user%d" % uid)
+        tag = authority.create_tag("u%d-data" % uid, owner=principal.id,
+                                   compounds=(compound.id,),
+                                   creator=service.id)
+        process = IFCProcess(authority, principal.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        session.execute("INSERT INTO Raw VALUES (?, ?)", (uid, uid * 10))
+        users.append((principal, tag))
+    return authority, db, service, compound, users
+
+
+class TestPerTupleIterator:
+    def test_writes_carry_each_tuples_label(self, world):
+        authority, db, service, compound, users = world
+        process = IFCProcess(authority, service.id)
+        session = db.connect(process)
+
+        def summarize(row, scoped_session):
+            scoped_session.insert("Summaries", uid=row["uid"],
+                                  total=row["v"] * 2)
+            return row["uid"]
+
+        handled = session.for_each_with_label(
+            "SELECT uid, v FROM Raw", summarize,
+            cover_tags=(compound.id,))
+        assert sorted(handled) == [1, 2, 3]
+
+        # Each summary tuple carries exactly its source tuple's label.
+        table = db.catalog.get_table("Summaries")
+        labels = {v.values[0]: v.label for v in table.all_versions()}
+        for index, (principal, tag) in enumerate(users, start=1):
+            assert labels[index] == Label([tag.id])
+
+    def test_caller_is_not_contaminated(self, world):
+        authority, db, service, compound, users = world
+        process = IFCProcess(authority, service.id)
+        session = db.connect(process)
+        session.for_each_with_label("SELECT uid, v FROM Raw",
+                                    lambda row, s: None,
+                                    cover_tags=(compound.id,))
+        assert process.label == Label()
+
+    def test_per_user_summaries_visible_only_to_owner(self, world):
+        authority, db, service, compound, users = world
+        service_session = db.connect(IFCProcess(authority, service.id))
+        service_session.for_each_with_label(
+            "SELECT uid, v FROM Raw",
+            lambda row, s: s.insert("Summaries", uid=row["uid"],
+                                    total=row["v"]),
+            cover_tags=(compound.id,))
+        principal, tag = users[0]
+        owner = IFCProcess(authority, principal.id)
+        owner.add_secrecy(tag.id)
+        owner_session = db.connect(owner)
+        rows = owner_session.query("SELECT uid FROM Summaries")
+        assert [r[0] for r in rows] == [1]       # only their own
+
+    def test_without_cover_tags_sees_only_own_level(self, world):
+        authority, db, _service, _compound, users = world
+        principal, tag = users[0]
+        process = IFCProcess(authority, principal.id)
+        process.add_secrecy(tag.id)
+        session = db.connect(process)
+        rows = session.for_each_with_label("SELECT uid FROM Raw",
+                                           lambda row, s: row["uid"])
+        assert rows == [1]

@@ -1,0 +1,200 @@
+"""Scenario tests that replay passages of the paper verbatim.
+
+Each test cites the section whose example it reproduces, so the test
+suite doubles as an executable index into the paper.
+"""
+
+import pytest
+
+from repro.core import EMPTY_LABEL, IFCProcess, Label
+from repro.errors import (
+    AuthorityError,
+    ForeignKeyViolation,
+    IFCViolation,
+)
+
+
+class TestSection1CarTelPolicy:
+    """'IFDB can enforce Alice's policy that only she can see her
+    current location, and only she and her friends can see her past
+    drives.'"""
+
+    def test_policy(self, authority, db):
+        alice = authority.create_principal("alice")
+        bob = authority.create_principal("bob")
+        t_loc = authority.create_tag("alice-location", owner=alice.id)
+        t_drv = authority.create_tag("alice-drives", owner=alice.id)
+        # Alice lets Bob see her drives but not her location.
+        authority.delegate(t_drv.id, alice.id, bob.id)
+        bob_process = IFCProcess(authority, bob.id)
+        bob_process.add_secrecy(t_drv.id)
+        bob_process.declassify(t_drv.id)             # allowed: delegated
+        bob_process.add_secrecy(t_loc.id)
+        with pytest.raises(AuthorityError):
+            bob_process.declassify(t_loc.id)          # never delegated
+
+
+class TestSection42QueryExamples:
+    """The HIVPatients queries of section 4.2 / Figure 2."""
+
+    def test_bob_query_with_bob_label(self, medical):
+        process = medical.process_for(medical.bob, medical.bob_medical)
+        session = medical.db.connect(process)
+        rows = session.query(
+            "SELECT * FROM HIVPatients WHERE patient_name = 'Bob' "
+            "AND patient_dob = '6/26/78'")
+        assert len(rows) == 1
+
+    def test_same_query_with_empty_or_wrong_label(self, medical):
+        john = medical.authority.create_principal("john")
+        john_tag = medical.authority.create_tag("john_medical",
+                                                owner=john.id)
+        for process in (medical.process_for(medical.bob),
+                        medical.process_for(john, john_tag)):
+            session = medical.db.connect(process)
+            rows = session.query(
+                "SELECT * FROM HIVPatients WHERE patient_name = 'Bob' "
+                "AND patient_dob = '6/26/78'")
+            assert rows == []
+
+
+class TestSection51TransactionChannel:
+    """The 'Alice has HIV' covert-channel transaction, step by step."""
+
+    def test_channel_closed(self, medical):
+        db = medical.db
+        setup = db.connect(IFCProcess(medical.authority, medical.clinic.id))
+        setup.execute("CREATE TABLE Foo (msg TEXT PRIMARY KEY)")
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = db.connect(process)
+        session.execute("BEGIN")
+        session.execute("INSERT INTO Foo VALUES ('Alice has HIV')")
+        process.add_secrecy(medical.alice_medical.id)      # addsecrecy()
+        found = session.query(
+            "SELECT * FROM HIVPatients WHERE patient_name = 'Alice'")
+        assert found                                       # she does
+        with pytest.raises(IFCViolation):
+            session.commit()
+        # Without the commit-label rule, 'Alice has HIV' would now be
+        # publicly readable exactly when Alice has HIV.
+        assert setup.execute("SELECT COUNT(*) FROM Foo").scalar() == 0
+
+
+class TestSection521InsertExamples:
+    """The three inserts enumerated in section 5.2.1."""
+
+    def test_all_three(self, medical):
+        db = medical.db
+        authority = medical.authority
+        # 1: Dan is new — succeeds with any label.
+        dan = authority.create_principal("dan")
+        dan_tag = authority.create_tag("dan_medical", owner=dan.id)
+        s1 = db.connect(medical.process_for(dan, dan_tag))
+        s1.execute("INSERT INTO HIVPatients VALUES ('Dan', '8/12/69', 'x')")
+        # 2: visible conflict — fails, revealing nothing new.
+        s2 = db.connect(medical.process_for(medical.alice,
+                                            medical.alice_medical))
+        from repro.errors import UniqueViolation
+        with pytest.raises(UniqueViolation):
+            s2.execute(
+                "INSERT INTO HIVPatients VALUES ('Alice', '2/1/60', 'x')")
+        # 3: invisible conflict — polyinstantiates instead of leaking.
+        s3 = db.connect(IFCProcess(authority, medical.clinic.id))
+        s3.execute("INSERT INTO HIVPatients VALUES ('Alice', '2/1/60', 'x')")
+
+
+class TestSection522ForeignKeyChannels:
+    """The HIVRecords insert channel and PatientContact delete channel."""
+
+    @pytest.fixture
+    def tables(self, medical):
+        admin = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        admin.execute(
+            "CREATE TABLE PatientContact (patient_name TEXT PRIMARY KEY, "
+            "phone TEXT)")
+        admin.execute(
+            "CREATE TABLE HIVRecords (recid INT PRIMARY KEY, "
+            "patient_name TEXT, patient_dob TEXT, "
+            "FOREIGN KEY (patient_name, patient_dob) "
+            "REFERENCES HIVPatients(patient_name, patient_dob))")
+        return admin
+
+    def test_probe_insert_channel_closed(self, medical, tables):
+        """A process with an empty label cannot probe HIVPatients
+        membership by inserting into HIVRecords: the Foreign Key Rule
+        demands explicit declassification authority."""
+        probe = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        # Alice IS in the table, but the prober may not learn that:
+        with pytest.raises(IFCViolation):
+            probe.execute(
+                "INSERT INTO HIVRecords VALUES (1, 'Alice', '2/1/60')")
+        # And for an absent patient the failure is indistinguishable
+        # at this label: it also raises (FK violation).
+        with pytest.raises((ForeignKeyViolation, IFCViolation)):
+            probe.execute(
+                "INSERT INTO HIVRecords VALUES (2, 'Zoe', '1/1/99')")
+
+    def test_authorized_insert_with_clause(self, medical, tables):
+        """The clinic (compound authority) may vouch explicitly."""
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = medical.db.connect(process)
+        session.execute(
+            "INSERT INTO HIVRecords VALUES (1, 'Alice', '2/1/60') "
+            "DECLASSIFYING (alice_medical)")
+        assert True
+
+
+class TestSection43PCMembersView:
+    """The PCMembers declassifying view, verbatim from section 4.3."""
+
+    def test_view(self, authority, db):
+        service = authority.create_principal("service")
+        all_contacts = authority.create_compound_tag("all_contacts",
+                                                     owner=service.id)
+        admin = db.connect(IFCProcess(authority, service.id))
+        admin.execute(
+            "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY, "
+            "firstName TEXT, lastName TEXT, isPC BOOLEAN)")
+        db.create_function("IsPCMember",
+                           lambda ctx, is_pc: bool(is_pc),
+                           needs_context=True)
+        user = authority.create_principal("cathy")
+        tag = authority.create_tag("cathy-contact", owner=user.id,
+                                   compounds=(all_contacts.id,),
+                                   creator=service.id)
+        process = IFCProcess(authority, user.id)
+        session = db.connect(process)
+        process.add_secrecy(tag.id)
+        session.execute(
+            "INSERT INTO ContactInfo VALUES (1, 'Cathy', 'C', TRUE)")
+        admin.execute(
+            "CREATE VIEW PCMembers AS SELECT firstName, lastName "
+            "FROM ContactInfo WHERE IsPCMember(isPC) "
+            "WITH DECLASSIFYING (all_contacts)")
+        public = db.connect()
+        assert [list(r) for r in public.query("SELECT * FROM PCMembers")] \
+            == [["Cathy", "C"]]
+
+
+class TestSection63TrustedBase:
+    """'she does not need to trust any of the processing that goes on in
+    the middle' — untrusted code computing on secrets cannot leak."""
+
+    def test_untrusted_computation_cannot_release(self, medical):
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        session = medical.db.connect(process)
+        process.add_secrecy(medical.all_medical.id)
+        rows = session.query("SELECT condition FROM HIVPatients")
+        assert len(rows) == 3          # reads everything...
+        # ...but the process is contaminated and the clinic principal has
+        # compound authority; drop to an unprivileged principal and the
+        # data is stuck:
+        nobody = medical.authority.create_principal("nobody")
+
+        def leak_attempt():
+            process.declassify(medical.all_medical.id)
+
+        with pytest.raises(AuthorityError):
+            process.with_reduced_authority(nobody.id, leak_attempt)

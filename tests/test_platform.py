@@ -1,0 +1,138 @@
+"""Platform tests (section 7.2): output interposition, the label-sync
+protocol's lazy coalescing, and the authority cache."""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.db import Database
+from repro.errors import AuthorityError, ReleaseError
+from repro.platform import AuthorityCache, IFRuntime
+
+
+@pytest.fixture
+def world(authority, db):
+    runtime = IFRuntime(authority)
+    alice = authority.create_principal("alice")
+    tag = authority.create_tag("alice_tag", owner=alice.id)
+    return authority, db, runtime, alice, tag
+
+
+class TestOutputInterposition:
+    def test_clean_process_sends(self, world):
+        _a, _db, runtime, alice, _tag = world
+        process = runtime.spawn(alice.id)
+        process.send("hello")
+        assert runtime.outbox[-1][1] == "hello"
+
+    def test_contaminated_process_blocked(self, world):
+        _a, _db, runtime, alice, tag = world
+        process = runtime.spawn(alice.id)
+        process.add_secrecy(tag.id)
+        with pytest.raises(ReleaseError):
+            process.send("secret")
+        assert not runtime.outbox
+        assert not process.try_send("secret")
+
+    def test_send_to_labelled_destination(self, world):
+        _a, _db, runtime, alice, tag = world
+        process = runtime.spawn(alice.id)
+        process.add_secrecy(tag.id)
+        process.send("for alice only", Label([tag.id]))
+
+    def test_declassify_then_send(self, world):
+        _a, _db, runtime, alice, tag = world
+        process = runtime.spawn(alice.id)
+        process.add_secrecy(tag.id)
+        process.declassify(tag.id)      # owner, via cache
+        process.send("ok")
+
+    def test_cached_declassify_requires_authority(self, world):
+        authority, _db, runtime, _alice, tag = world
+        mallory = authority.create_principal("mallory")
+        process = runtime.spawn(mallory.id)
+        process.add_secrecy(tag.id)
+        with pytest.raises(AuthorityError):
+            process.declassify(tag.id)
+
+    def test_anonymous_process_has_no_authority(self, world):
+        _a, _db, runtime, _alice, tag = world
+        process = runtime.spawn_anonymous()
+        process.add_secrecy(tag.id)
+        with pytest.raises(AuthorityError):
+            process.declassify(tag.id)
+
+
+class TestProtocolCoalescing:
+    """Section 7.1: label changes are coalesced and sent lazily."""
+
+    @pytest.fixture
+    def connection(self, world):
+        authority, db, runtime, alice, tag = world
+        session = db.connect()
+        session.execute("CREATE TABLE t (x INT PRIMARY KEY)")
+        process = runtime.spawn(alice.id)
+        return process, process.connect(db), tag
+
+    def test_first_statement_syncs_once(self, connection):
+        process, conn, _tag = connection
+        conn.execute("SELECT * FROM t")
+        assert conn.stats.label_updates_sent == 1
+        assert conn.stats.statements_sent == 1
+
+    def test_no_change_no_update(self, connection):
+        process, conn, _tag = connection
+        conn.execute("SELECT * FROM t")
+        conn.execute("SELECT * FROM t")
+        assert conn.stats.label_updates_sent == 1
+
+    def test_many_changes_one_update(self, connection):
+        """Multiple label flips between statements ride one message."""
+        process, conn, tag = connection
+        conn.execute("SELECT * FROM t")
+        for _ in range(5):
+            process.add_secrecy(tag.id)
+            process.declassify(tag.id)
+        conn.execute("SELECT * FROM t")
+        assert conn.stats.label_updates_sent == 2
+        assert conn.stats.label_changes_coalesced >= 9
+
+    def test_query_by_label_through_connection(self, connection):
+        process, conn, tag = connection
+        process.add_secrecy(tag.id)
+        conn.execute("INSERT INTO t VALUES (1)")
+        process.declassify(tag.id)
+        assert conn.query("SELECT * FROM t") == []      # hidden again
+
+
+class TestAuthorityCache:
+    def test_hits_after_first_lookup(self, world):
+        authority, _db, _runtime, alice, tag = world
+        cache = AuthorityCache(authority)
+        assert cache.has_authority(alice.id, tag.id)
+        assert cache.has_authority(alice.id, tag.id)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_invalidated_by_authority_changes(self, world):
+        authority, _db, _runtime, alice, tag = world
+        bob = authority.create_principal("bob")
+        cache = AuthorityCache(authority)
+        assert not cache.has_authority(bob.id, tag.id)
+        authority.delegate(tag.id, alice.id, bob.id)
+        assert cache.has_authority(bob.id, tag.id)      # sees the change
+        assert cache.invalidations == 1
+
+    def test_revocation_visible_through_cache(self, world):
+        authority, _db, _runtime, alice, tag = world
+        bob = authority.create_principal("bob")
+        authority.delegate(tag.id, alice.id, bob.id)
+        cache = AuthorityCache(authority)
+        assert cache.has_authority(bob.id, tag.id)
+        authority.revoke(tag.id, alice.id, bob.id)
+        assert not cache.has_authority(bob.id, tag.id)
+
+    def test_disabled_cache_always_misses(self, world):
+        authority, _db, _runtime, alice, tag = world
+        cache = AuthorityCache(authority, enabled=False)
+        cache.has_authority(alice.id, tag.id)
+        cache.has_authority(alice.id, tag.id)
+        assert cache.hits == 0 and cache.misses == 2

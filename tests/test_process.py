@@ -1,0 +1,175 @@
+"""IFC process tests: explicit label changes, closures, release gate
+(sections 3.2-3.3)."""
+
+import pytest
+
+from repro.core import EMPTY_LABEL, IFCProcess, Label
+from repro.core.tags import INTEGRITY
+from repro.errors import AuthorityError, IFCViolation
+
+
+@pytest.fixture
+def world(authority):
+    alice = authority.create_principal("alice")
+    bob = authority.create_principal("bob")
+    tag_a = authority.create_tag("a", owner=alice.id)
+    tag_b = authority.create_tag("b", owner=bob.id)
+    return authority, alice, bob, tag_a, tag_b
+
+
+class TestLabelChanges:
+    def test_add_secrecy_is_unrestricted(self, world):
+        authority, alice, _bob, tag_a, tag_b = world
+        process = IFCProcess(authority, alice.id)
+        process.add_secrecy(tag_b.id)        # anyone may contaminate itself
+        assert tag_b.id in process.label
+
+    def test_declassify_requires_authority(self, world):
+        authority, alice, _bob, tag_a, tag_b = world
+        process = IFCProcess(authority, alice.id)
+        process.add_secrecy(tag_a.id)
+        process.add_secrecy(tag_b.id)
+        process.declassify(tag_a.id)          # owner
+        assert process.label == Label([tag_b.id])
+        with pytest.raises(AuthorityError):
+            process.declassify(tag_b.id)      # not bob
+
+    def test_declassify_compound_strips_members(self, authority):
+        service = authority.create_principal("svc")
+        user = authority.create_principal("u")
+        compound = authority.create_compound_tag("all", owner=service.id)
+        member = authority.create_tag("m", owner=user.id,
+                                      compounds=(compound.id,),
+                                      creator=service.id)
+        process = IFCProcess(authority, service.id)
+        process.add_secrecy(member.id)
+        process.add_secrecy(compound.id)
+        process.declassify(compound.id)
+        assert process.label == EMPTY_LABEL
+
+    def test_set_label_combines_rules(self, world):
+        authority, alice, _bob, tag_a, tag_b = world
+        process = IFCProcess(authority, alice.id)
+        process.set_label(Label([tag_a.id]))
+        assert process.label == Label([tag_a.id])
+        process.set_label(EMPTY_LABEL)        # declassify own tag: fine
+        process.add_secrecy(tag_b.id)
+        with pytest.raises(AuthorityError):
+            process.set_label(EMPTY_LABEL)    # can't drop bob's tag
+
+    def test_label_epoch_moves_on_changes(self, world):
+        authority, alice, _bob, tag_a, _tag_b = world
+        process = IFCProcess(authority, alice.id)
+        epoch = process.label_epoch
+        process.add_secrecy(tag_a.id)
+        assert process.label_epoch > epoch
+        again = process.label_epoch
+        process.add_secrecy(tag_a.id)          # no-op, no bump
+        assert process.label_epoch == again
+
+
+class TestReleaseGate:
+    def test_clean_process_can_release(self, world):
+        authority, alice, *_ = world
+        process = IFCProcess(authority, alice.id)
+        assert process.can_release()
+        process.check_release()
+
+    def test_contaminated_process_cannot_release(self, world):
+        authority, alice, _bob, tag_a, _ = world
+        process = IFCProcess(authority, alice.id)
+        process.add_secrecy(tag_a.id)
+        assert not process.can_release()
+        with pytest.raises(IFCViolation):
+            process.check_release()
+
+    def test_release_to_higher_destination(self, world):
+        authority, alice, _bob, tag_a, _ = world
+        process = IFCProcess(authority, alice.id)
+        process.add_secrecy(tag_a.id)
+        assert process.can_release(Label([tag_a.id]))
+
+
+class TestAuthorityScoping:
+    def test_reduced_authority_call(self, world):
+        authority, alice, bob, tag_a, tag_b = world
+        process = IFCProcess(authority, alice.id)
+
+        def attempt():
+            process.add_secrecy(tag_b.id)
+            process.declassify(tag_b.id)
+
+        # Run with bob's authority: declassifying bob's tag works inside.
+        process.with_reduced_authority(bob.id, attempt)
+        assert process.label == EMPTY_LABEL
+        assert process.principal == alice.id     # restored
+
+    def test_reduced_authority_restored_on_exception(self, world):
+        authority, alice, bob, *_ = world
+        process = IFCProcess(authority, alice.id)
+        with pytest.raises(RuntimeError):
+            process.with_reduced_authority(bob.id,
+                                           lambda: (_ for _ in ()).throw(
+                                               RuntimeError()))
+        assert process.principal == alice.id
+
+    def test_closure_runs_with_bound_authority(self, world):
+        authority, alice, bob, tag_a, tag_b = world
+        process_bob = IFCProcess(authority, bob.id)
+        closure = process_bob.make_closure(
+            "drop-b", lambda p: p.declassify(tag_b.id), principal=bob.id)
+        process_alice = IFCProcess(authority, alice.id)
+        process_alice.add_secrecy(tag_b.id)
+        process_alice.call_closure(closure, process_alice)
+        assert process_alice.label == EMPTY_LABEL
+
+    def test_fresh_closure_principal_gets_exact_grants(self, world):
+        authority, alice, _bob, tag_a, _tag_b = world
+        process = IFCProcess(authority, alice.id)
+        closure = process.make_closure("c", lambda: None,
+                                       grant_tags=(tag_a.id,))
+        assert authority.has_authority(closure.principal, tag_a.id)
+
+    def test_closure_grants_need_creator_authority(self, world):
+        authority, alice, _bob, _tag_a, tag_b = world
+        process = IFCProcess(authority, alice.id)
+        with pytest.raises(AuthorityError):
+            process.make_closure("c", lambda: None, grant_tags=(tag_b.id,))
+
+
+class TestIntegrityLabels:
+    def test_endorse_requires_authority(self, authority):
+        alice = authority.create_principal("alice")
+        bob = authority.create_principal("bob")
+        itag = authority.create_tag("verified", owner=alice.id,
+                                    kind=INTEGRITY)
+        process = IFCProcess(authority, bob.id)
+        with pytest.raises(AuthorityError):
+            process.endorse(itag.id)
+        owner = IFCProcess(authority, alice.id)
+        owner.endorse(itag.id)
+        assert itag.id in owner.integrity_label
+
+    def test_drop_integrity_is_unrestricted(self, authority):
+        alice = authority.create_principal("alice")
+        itag = authority.create_tag("verified", owner=alice.id,
+                                    kind=INTEGRITY)
+        process = IFCProcess(authority, alice.id)
+        process.endorse(itag.id)
+        process.drop_integrity(itag.id)
+        assert len(process.integrity_label) == 0
+
+    def test_secrecy_tag_cannot_be_endorsed(self, authority):
+        alice = authority.create_principal("alice")
+        stag = authority.create_tag("secret", owner=alice.id)
+        process = IFCProcess(authority, alice.id)
+        with pytest.raises(IFCViolation):
+            process.endorse(stag.id)
+
+    def test_integrity_tag_cannot_contaminate(self, authority):
+        alice = authority.create_principal("alice")
+        itag = authority.create_tag("verified", owner=alice.id,
+                                    kind=INTEGRITY)
+        process = IFCProcess(authority, alice.id)
+        with pytest.raises(IFCViolation):
+            process.add_secrecy(itag.id)

@@ -1,0 +1,180 @@
+"""Query by Label (section 4.2): confinement, write rule, exact labels.
+
+Several tests replay the paper's Figure 2 medical-records scenarios
+verbatim.
+"""
+
+import pytest
+
+from repro.core import IFCProcess, Label
+from repro.errors import IFCViolation
+
+
+class TestLabelConfinement:
+    def test_bob_sees_only_bob(self, medical):
+        process = medical.process_for(medical.bob, medical.bob_medical)
+        session = medical.db.connect(process)
+        rows = session.query(
+            "SELECT * FROM HIVPatients WHERE patient_name = 'Bob' "
+            "AND patient_dob = '6/26/78'")
+        assert len(rows) == 1
+        assert rows[0][0] == "Bob"
+
+    def test_empty_label_sees_nothing(self, medical):
+        process = medical.process_for(medical.bob)
+        session = medical.db.connect(process)
+        assert session.query("SELECT * FROM HIVPatients") == []
+
+    def test_wrong_label_sees_nothing(self, medical):
+        # A process with {john_medical}-style wrong contamination gets no
+        # tuples (the paper's exact example).
+        john = medical.authority.create_principal("john")
+        john_tag = medical.authority.create_tag("john_medical",
+                                                owner=john.id)
+        process = medical.process_for(john, john_tag)
+        session = medical.db.connect(process)
+        rows = session.query(
+            "SELECT * FROM HIVPatients WHERE patient_name = 'Bob'")
+        assert rows == []
+
+    def test_compound_label_sees_all(self, medical):
+        process = IFCProcess(medical.authority, medical.clinic.id)
+        process.add_secrecy(medical.all_medical.id)
+        session = medical.db.connect(process)
+        assert len(session.query("SELECT * FROM HIVPatients")) == 3
+
+    def test_negative_query_does_not_reveal_hidden_rows(self, medical):
+        """The paper's motivating example: 'patients who do not have
+        cancer' must not implicitly reveal hidden patients."""
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        rows = session.query(
+            "SELECT * FROM HIVPatients WHERE condition <> 'cancer'")
+        # Only Alice's row participates at all.
+        assert [r[0] for r in rows] == ["Alice"]
+
+    def test_aggregates_confined(self, medical):
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        assert session.execute(
+            "SELECT COUNT(*) FROM HIVPatients").scalar() == 1
+
+
+class TestWriteRule:
+    def test_insert_carries_exactly_process_label(self, medical):
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        session.execute(
+            "INSERT INTO HIVPatients VALUES ('Alice2', '1/1/90', 'hiv')")
+        row = session.execute(
+            "SELECT _label FROM HIVPatients WHERE patient_name = 'Alice2'"
+        ).first()
+        assert row[0] == Label([medical.alice_medical.id])
+
+    def test_update_of_same_label_tuple_ok(self, medical):
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        count = session.execute(
+            "UPDATE HIVPatients SET condition = 'in remission' "
+            "WHERE patient_name = 'Alice'").rowcount
+        assert count == 1
+
+    def test_update_of_lower_labeled_tuple_fails(self, medical):
+        """Visible but lower-labelled tuples make the UPDATE fail
+        (section 4.2)."""
+        public = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        public.execute(
+            "INSERT INTO HIVPatients VALUES ('Pub', '1/1/00', 'none')")
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        with pytest.raises(IFCViolation):
+            session.execute(
+                "UPDATE HIVPatients SET condition = 'x' "
+                "WHERE patient_name = 'Pub'")
+
+    def test_update_ignores_invisible_tuples(self, medical):
+        """Higher-labelled tuples are invisible and unaffected."""
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        count = session.execute(
+            "UPDATE HIVPatients SET condition = 'x' "
+            "WHERE patient_name = 'Bob'").rowcount
+        assert count == 0
+        bob = medical.db.connect(
+            medical.process_for(medical.bob, medical.bob_medical))
+        assert bob.execute(
+            "SELECT condition FROM HIVPatients WHERE patient_name = 'Bob'"
+        ).scalar() == "hiv"
+
+    def test_delete_of_lower_labeled_tuple_fails(self, medical):
+        public = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        public.execute(
+            "INSERT INTO HIVPatients VALUES ('Pub', '1/1/00', 'none')")
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        with pytest.raises(IFCViolation):
+            session.execute(
+                "DELETE FROM HIVPatients WHERE patient_name = 'Pub'")
+
+    def test_delete_own_label_ok(self, medical):
+        process = medical.process_for(medical.alice, medical.alice_medical)
+        session = medical.db.connect(process)
+        assert session.execute(
+            "DELETE FROM HIVPatients WHERE patient_name = 'Alice'"
+        ).rowcount == 1
+
+
+class TestLabelColumn:
+    def test_label_column_selectable(self, medical):
+        process = medical.process_for(medical.bob, medical.bob_medical)
+        session = medical.db.connect(process)
+        row = session.execute(
+            "SELECT patient_name, _label FROM HIVPatients").first()
+        assert row[1] == Label([medical.bob_medical.id])
+
+    def test_exact_label_query(self, medical):
+        """Section 4.2 / 5.2.1: an exact-label condition filters out
+        polyinstantiated garbage."""
+        clinic = medical.db.connect(
+            IFCProcess(medical.authority, medical.clinic.id))
+        clinic.execute(
+            "INSERT INTO HIVPatients VALUES ('Bob', '6/26/78', 'fake')")
+        process = medical.process_for(medical.bob, medical.bob_medical)
+        session = medical.db.connect(process)
+        all_bobs = session.query(
+            "SELECT condition FROM HIVPatients WHERE patient_name = 'Bob'")
+        assert len(all_bobs) == 2          # real + polyinstantiated fake
+        genuine = session.query(
+            "SELECT condition FROM HIVPatients WHERE patient_name = 'Bob' "
+            "AND LABEL_CONTAINS(_label, 'bob_medical')")
+        assert [r[0] for r in genuine] == ["hiv"]
+
+    def test_label_functions(self, medical):
+        process = medical.process_for(medical.bob, medical.bob_medical)
+        session = medical.db.connect(process)
+        row = session.execute(
+            "SELECT LABEL_SIZE(_label), "
+            "LABEL_SUBSET(_label, LABEL('bob_medical')), "
+            "LABEL_SUBSET(LABEL('alice_medical'), _label) "
+            "FROM HIVPatients").first()
+        assert list(row) == [1, True, False]
+
+
+class TestBaselineMode:
+    def test_ifc_disabled_sees_everything(self, authority, baseline_db):
+        clinic = authority.create_principal("c2")
+        session = baseline_db.connect(IFCProcess(authority, clinic.id))
+        session.execute("CREATE TABLE t (x INT PRIMARY KEY)")
+        session.execute("INSERT INTO t VALUES (1)")
+        other = baseline_db.connect()
+        assert len(other.query("SELECT * FROM t")) == 1
+
+    def test_labels_not_stored_in_baseline(self, authority, baseline_db):
+        session = baseline_db.connect()
+        session.execute("CREATE TABLE t (x INT PRIMARY KEY)")
+        session.execute("INSERT INTO t VALUES (1)")
+        table = baseline_db.catalog.get_table("t")
+        version = next(table.all_versions())
+        assert len(version.label) == 0

@@ -1,0 +1,129 @@
+"""The flow rules (sections 3.2, 4.2, 5.1) plus hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Label
+from repro.core.rules import (
+    can_flow,
+    can_flow_integrity,
+    covers,
+    may_commit,
+    may_write,
+    same_contamination,
+    strip,
+    symmetric_difference,
+    tuple_visible,
+)
+from repro.core.tags import Tag, TagRegistry
+
+tag_sets = st.sets(st.integers(min_value=1, max_value=30), max_size=6)
+
+
+@pytest.fixture
+def registry():
+    reg = TagRegistry()
+    reg.add(Tag(id=100, name="all", owner=1, is_compound=True))
+    reg.add(Tag(id=1, name="alice", owner=1, compounds=frozenset((100,))))
+    reg.add(Tag(id=2, name="bob", owner=1, compounds=frozenset((100,))))
+    reg.add(Tag(id=3, name="loose", owner=1))
+    return reg
+
+
+class TestCovers:
+    def test_plain_subset(self, registry):
+        assert covers(registry, Label([1]), Label([1, 3]))
+        assert not covers(registry, Label([3]), Label([1]))
+
+    def test_empty_covered_by_anything(self, registry):
+        assert covers(registry, Label(), Label())
+        assert covers(registry, Label(), Label([1]))
+
+    def test_compound_covers_members(self, registry):
+        assert covers(registry, Label([1]), Label([100]))
+        assert covers(registry, Label([1, 2]), Label([100]))
+        assert not covers(registry, Label([3]), Label([100]))
+
+    def test_same_contamination_with_compounds(self, registry):
+        # {all} and {all, alice} denote the same contamination set.
+        assert same_contamination(registry, Label([100]), Label([100, 1]))
+        assert not same_contamination(registry, Label([1]), Label([100]))
+
+
+class TestFlowRules:
+    def test_information_flow_rule(self, registry):
+        assert can_flow(registry, Label([1]), Label([1, 2]))
+        assert not can_flow(registry, Label([1, 2]), Label([1]))
+
+    def test_integrity_flow_is_dual(self, registry):
+        assert can_flow_integrity(registry, Label([1, 2]), Label([1]))
+        assert not can_flow_integrity(registry, Label([1]), Label([1, 2]))
+
+    def test_tuple_visible_is_confinement(self, registry):
+        assert tuple_visible(registry, Label([1]), Label([1]))
+        assert not tuple_visible(registry, Label([1, 3]), Label([1]))
+
+    def test_write_rule(self, registry):
+        # LT must cover LP.
+        assert may_write(registry, Label([1, 2]), Label([1]))
+        assert not may_write(registry, Label([1]), Label([1, 2]))
+
+    def test_commit_rule(self, registry):
+        # commit label must be covered by the written tuple's label.
+        assert may_commit(registry, Label([1]), Label([1, 2]))
+        assert not may_commit(registry, Label([1, 2]), Label([1]))
+
+
+class TestStripAndSymdiff:
+    def test_strip_plain(self, registry):
+        assert strip(registry, Label([1, 3]), Label([3])) == Label([1])
+
+    def test_strip_compound_removes_members(self, registry):
+        assert strip(registry, Label([1, 2, 3]), Label([100])) == Label([3])
+
+    def test_strip_no_op_returns_same_object(self, registry):
+        label = Label([3])
+        assert strip(registry, label, Label([1])) is label
+
+    def test_symmetric_difference(self, registry):
+        assert symmetric_difference(Label([1, 2]), Label([2, 3])) == \
+            Label([1, 3])
+        assert symmetric_difference(Label([1]), Label([1])) == Label()
+
+
+class TestRuleProperties:
+    @given(tag_sets, tag_sets)
+    def test_covers_matches_set_subset_without_compounds(self, a, b):
+        reg = TagRegistry()    # no compound tags at all
+        assert covers(reg, Label(a), Label(b)) == (a <= b)
+
+    @given(tag_sets)
+    def test_covers_is_reflexive(self, a):
+        reg = TagRegistry()
+        assert covers(reg, Label(a), Label(a))
+
+    @given(tag_sets, tag_sets, tag_sets)
+    def test_covers_is_transitive(self, a, b, c):
+        reg = TagRegistry()
+        if covers(reg, Label(a), Label(b)) and covers(reg, Label(b),
+                                                      Label(c)):
+            assert covers(reg, Label(a), Label(c))
+
+    @given(tag_sets, tag_sets)
+    def test_write_rule_dual_of_flow(self, a, b):
+        reg = TagRegistry()
+        assert may_write(reg, Label(a), Label(b)) == \
+            can_flow(reg, Label(b), Label(a))
+
+    @given(tag_sets, tag_sets)
+    def test_symmetric_difference_commutes(self, a, b):
+        assert symmetric_difference(Label(a), Label(b)) == \
+            symmetric_difference(Label(b), Label(a))
+
+    @given(tag_sets, tag_sets)
+    def test_strip_result_disjoint_from_stripped(self, a, b):
+        reg = TagRegistry()
+        result = strip(reg, Label(a), Label(b))
+        assert not (result.tags & frozenset(b))
+        assert result.tags <= frozenset(a)

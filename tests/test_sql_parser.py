@@ -1,0 +1,215 @@
+"""SQL lexer and parser tests, including the IFDB dialect extensions."""
+
+import pytest
+
+from repro.db import expressions as ex
+from repro.errors import SQLSyntaxError
+from repro.sql import ast, parse_expression, parse_script, parse_statement
+from repro.sql.lexer import tokenize
+
+
+class TestLexer:
+    def test_strings_with_escaped_quotes(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_line_and_block_comments(self):
+        tokens = tokenize("SELECT 1 -- comment\n + /* block */ 2")
+        values = [t.value for t in tokens if t.kind == "number"]
+        assert values == [1, 2]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 .25")
+        assert [t.value for t in tokens[:-1]] == [1, 2.5, 1000.0, 0.25]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "Weird Name"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_params(self):
+        tokens = tokenize("a = ? AND b = ?")
+        assert sum(1 for t in tokens if t.kind == "param") == 2
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse_statement("SELECT a, b FROM t WHERE a = 1")
+        assert isinstance(statement, ast.Select)
+        assert len(statement.items) == 2
+        assert isinstance(statement.where, ex.Compare)
+
+    def test_star_and_qualified_star(self):
+        statement = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(statement.items[0].expr, ex.Star)
+        assert statement.items[1].expr.table == "t"
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "LEFT OUTER JOIN c ON c.y = b.y")
+        join = statement.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "left"
+        assert join.left.kind == "inner"
+
+    def test_group_order_limit(self):
+        statement = parse_statement(
+            "SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC, b ASC LIMIT 5 OFFSET 2")
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit.value == 5
+        assert statement.offset.value == 2
+
+    def test_aggregates_and_distinct(self):
+        statement = parse_statement("SELECT COUNT(DISTINCT a), AVG(b) FROM t")
+        agg = statement.items[0].expr
+        assert isinstance(agg, ex.Aggregate)
+        assert agg.distinct
+
+    def test_subqueries(self):
+        statement = parse_statement(
+            "SELECT * FROM (SELECT a FROM t) s "
+            "WHERE EXISTS (SELECT 1 FROM u) AND a IN (SELECT a FROM v)")
+        assert isinstance(statement.from_items[0], ast.SubqueryRef)
+
+    def test_case_expression(self):
+        statement = parse_statement(
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t")
+        assert isinstance(statement.items[0].expr, ex.Case)
+
+    def test_alias_forms(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.from_items[0].alias == "u"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestDMLParsing:
+    def test_insert_values(self):
+        statement = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert statement.select is not None
+
+    def test_insert_declassifying_clause(self):
+        statement = parse_statement(
+            "INSERT INTO Drives VALUES (1, 2) "
+            "DECLASSIFYING (alice_drives, 'alice-cars')")
+        assert statement.declassifying == ["alice_drives", "alice-cars"]
+
+    def test_update(self):
+        statement = parse_statement(
+            "UPDATE t SET a = a + 1, b = ? WHERE c = 3")
+        assert len(statement.assignments) == 2
+        assert isinstance(statement.where, ex.Compare)
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE a IS NOT NULL")
+        assert isinstance(statement.where, ex.IsNull)
+        assert statement.where.negated
+
+
+class TestDDLParsing:
+    def test_create_table_with_constraints(self):
+        statement = parse_statement("""
+            CREATE TABLE t (
+                id INT PRIMARY KEY,
+                name VARCHAR(20) NOT NULL UNIQUE,
+                parent INT REFERENCES p(id) MATCH LABEL,
+                amount NUMERIC(12, 2) DEFAULT 0,
+                UNIQUE (name, parent),
+                FOREIGN KEY (parent) REFERENCES p(id) DEFERRABLE,
+                CHECK (amount >= 0),
+                LABEL CHECK (LABEL_CONTAINS(_label, 'secret'))
+            )""")
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].type_length == 20
+        assert statement.columns[2].match_label
+        assert statement.columns[3].has_default
+        kinds = [c.kind for c in statement.constraints]
+        assert kinds == ["unique", "foreign_key", "check", "label_check"]
+        assert statement.constraints[1].deferred
+
+    def test_create_view_with_declassifying(self):
+        statement = parse_statement(
+            "CREATE VIEW PCMembers AS SELECT firstName FROM ContactInfo "
+            "WHERE isPC = TRUE WITH DECLASSIFYING (all_contacts)")
+        assert isinstance(statement, ast.CreateView)
+        assert statement.declassifying == ["all_contacts"]
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE ORDERED INDEX i ON t (a, b)")
+        assert statement.ordered
+        assert statement.columns == ["a", "b"]
+
+    def test_drop(self):
+        assert isinstance(parse_statement("DROP TABLE IF EXISTS t"),
+                          ast.DropTable)
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+
+
+class TestTransactionsAndScripts:
+    def test_begin_variants(self):
+        assert parse_statement("BEGIN").isolation is None
+        assert parse_statement(
+            "BEGIN ISOLATION LEVEL SERIALIZABLE").isolation == "serializable"
+        assert isinstance(parse_statement("COMMIT"), ast.Commit)
+        assert isinstance(parse_statement("ABORT"), ast.Rollback)
+
+    def test_call(self):
+        statement = parse_statement("CALL addsecrecy('alice_medical')")
+        assert statement.name == "addsecrecy"
+        assert len(statement.args) == 1
+
+    def test_script_parsing(self):
+        statements = parse_script(
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT);")
+        assert len(statements) == 2
+
+    def test_parse_expression(self):
+        expr = parse_expression("a + 2 * b")
+        assert isinstance(expr, ex.BinOp)
+        assert expr.op == "+"
+
+
+class TestOperatorPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, ex.Or)
+        assert isinstance(expr.items[1], ex.And)
+
+    def test_multiplication_before_addition(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_not_in(self):
+        expr = parse_expression("a NOT IN (1, 2)")
+        assert isinstance(expr, ex.InList)
+        assert expr.negated
+
+    def test_between_and_not_between(self):
+        assert not parse_expression("a BETWEEN 1 AND 2").negated
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a * 2")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ex.Neg)

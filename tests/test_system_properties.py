@@ -1,0 +1,168 @@
+"""Property-based system tests: randomized operation sequences must
+never violate the core IFDB invariants.
+
+Invariants checked:
+
+1. **Confinement**: a query never returns a tuple whose label is not
+   covered by the reader's label (Query by Label, section 4.2).
+2. **Write stamping**: every stored tuple's label equals the label its
+   writer held at insert time.
+3. **Polyinstantiation soundness**: an insert never fails because of a
+   tuple the inserter could not see.
+4. **MVCC atomicity**: after a rollback, the database state matches the
+   state before the transaction began.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AuthorityState, IFCProcess, Label, SeededIdGenerator
+from repro.core.rules import covers
+from repro.db import Database
+from repro.errors import IntegrityError, ReproError
+
+
+def build_world(n_users=3):
+    authority = AuthorityState(idgen=SeededIdGenerator(99))
+    db = Database(authority, seed=99)
+    users = []
+    for i in range(n_users):
+        principal = authority.create_principal("u%d" % i)
+        tag = authority.create_tag("tag%d" % i, owner=principal.id)
+        users.append((principal, tag))
+    admin = db.connect(IFCProcess(authority, users[0][0].id))
+    admin.execute("CREATE TABLE T (k INT PRIMARY KEY, v INT)")
+    return authority, db, users
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "select"]),
+        st.integers(min_value=0, max_value=2),       # acting user
+        st.sets(st.integers(min_value=0, max_value=2), max_size=3),  # label
+        st.integers(min_value=0, max_value=9),       # key
+    ),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops)
+def test_random_operations_respect_invariants(operations):
+    authority, db, users = build_world()
+    registry = authority.tags
+    value_counter = [0]
+
+    for op, user_index, label_indices, key in operations:
+        principal, _tag = users[user_index]
+        process = IFCProcess(authority, principal.id)
+        for li in label_indices:
+            process.add_secrecy(users[li][1].id)
+        session = db.connect(process)
+        try:
+            if op == "insert":
+                value_counter[0] += 1
+                session.execute("INSERT INTO T VALUES (?, ?)",
+                                (key, value_counter[0]))
+            elif op == "update":
+                session.execute("UPDATE T SET v = v + 1 WHERE k = ?",
+                                (key,))
+            elif op == "delete":
+                session.execute("DELETE FROM T WHERE k = ?", (key,))
+            else:
+                rows = session.query("SELECT k, v, _label FROM T")
+                # Invariant 1: confinement.
+                for row in rows:
+                    assert covers(registry, row[2], process.label)
+        except ReproError:
+            pass      # rule violations are allowed; crashes are not
+
+    # Invariant 2: every stored version's label was some writer's label —
+    # in this workload, always a subset of the three user tags.
+    all_tags = {users[i][1].id for i in range(3)}
+    for version in db.catalog.get_table("T").all_versions():
+        assert set(version.label.tags) <= all_tags
+
+    # Invariant 3 (spot check): a fresh insert with a label above every
+    # existing conflicting tuple must polyinstantiate, not fail.
+    process = IFCProcess(authority, users[0][0].id)
+    session = db.connect(process)
+    try:
+        session.execute("INSERT INTO T VALUES (0, -1)")
+    except IntegrityError:
+        # Allowed only if a conflicting tuple was *visible* (empty
+        # label covers only empty-labelled tuples).
+        txn = db.txn_manager.begin()
+        visible_conflict = any(
+            version.values[0] == 0 and len(version.label) == 0
+            and db.txn_manager.visible(version, txn)
+            for version in db.catalog.get_table("T").all_versions())
+        db.txn_manager.abort(txn)
+        assert visible_conflict
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), st.booleans()),
+                min_size=1, max_size=20))
+def test_rollback_restores_prior_state(changes):
+    authority, db, users = build_world()
+    principal, _ = users[0]
+    process = IFCProcess(authority, principal.id)
+    session = db.connect(process)
+    for i in range(5):
+        session.execute("INSERT INTO T VALUES (?, 0)", (i,))
+
+    def snapshot():
+        return sorted(tuple(r) for r in session.query(
+            "SELECT k, v FROM T"))
+
+    before = snapshot()
+    session.execute("BEGIN")
+    for key, is_update in changes:
+        try:
+            if is_update:
+                session.execute("UPDATE T SET v = v + 1 WHERE k = ?",
+                                (key,))
+            else:
+                session.execute("INSERT INTO T VALUES (?, 1)",
+                                (key + 100,))
+        except ReproError:
+            session.rollback()
+            break
+    if session.transaction is not None:
+        session.rollback()
+    assert snapshot() == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=4), max_size=5),
+       st.sets(st.integers(min_value=0, max_value=4), max_size=5))
+def test_visibility_is_monotone_in_labels(reader_tags, bigger_extra):
+    """Raising the reader's label never hides previously visible rows."""
+    authority, db, users_unused = build_world(n_users=1)
+    owner = authority.create_principal("owner")
+    tags = [authority.create_tag("m%d" % i, owner=owner.id)
+            for i in range(5)]
+    writer = IFCProcess(authority, owner.id)
+    session = db.connect(writer)
+    rng = random.Random(7)
+    for key in range(20):
+        chosen = rng.sample(range(5), rng.randint(0, 2))
+        target = Label([tags[i].id for i in chosen])
+        writer.set_label(target)
+        session.execute("INSERT INTO T VALUES (?, 0)", (100 + key,))
+    writer.set_label(Label())
+
+    def visible_with(tag_indices):
+        reader = IFCProcess(authority, owner.id)
+        for i in tag_indices:
+            reader.add_secrecy(tags[i].id)
+        return {r[0] for r in db.connect(reader).query(
+            "SELECT k FROM T")}
+
+    small = visible_with(reader_tags)
+    large = visible_with(reader_tags | bigger_extra)
+    assert small <= large

@@ -1,0 +1,86 @@
+"""Tag registry and compound-tag tests (section 3.1)."""
+
+import pytest
+
+from repro.core.tags import SECRECY, Tag, TagRegistry
+from repro.errors import UnknownTagError
+
+
+def make_tag(tag_id, name, *, compound=False, compounds=()):
+    return Tag(id=tag_id, name=name, owner=1, is_compound=compound,
+               compounds=frozenset(compounds))
+
+
+@pytest.fixture
+def registry():
+    reg = TagRegistry()
+    reg.add(make_tag(100, "all_drives", compound=True))
+    reg.add(make_tag(1, "alice_drives", compounds=(100,)))
+    reg.add(make_tag(2, "bob_drives", compounds=(100,)))
+    reg.add(make_tag(3, "loose_tag"))
+    return reg
+
+
+class TestTagRegistry:
+    def test_lookup_by_name_and_id(self, registry):
+        assert registry.get(1).name == "alice_drives"
+        assert registry.lookup("bob_drives").id == 2
+
+    def test_unknown_tag_raises(self, registry):
+        with pytest.raises(UnknownTagError):
+            registry.get(999)
+        with pytest.raises(UnknownTagError):
+            registry.lookup("nope")
+
+    def test_duplicate_id_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add(make_tag(1, "other"))
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add(make_tag(50, "alice_drives"))
+
+    def test_membership_in_non_compound_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add(make_tag(51, "bad", compounds=(3,)))
+
+    def test_names_sorted(self, registry):
+        assert registry.names([2, 1]) == ("alice_drives", "bob_drives")
+
+
+class TestCompoundExpansion:
+    def test_members_of(self, registry):
+        assert registry.members_of(100) == {1, 2}
+        assert registry.members_of(1) == frozenset()
+
+    def test_compounds_of(self, registry):
+        assert registry.compounds_of(1) == {100}
+        assert registry.compounds_of(3) == frozenset()
+
+    def test_expand_includes_members(self, registry):
+        assert registry.expand({100}) == {100, 1, 2}
+        assert registry.expand({3}) == {3}
+        assert registry.expand({100, 3}) == {100, 1, 2, 3}
+
+    def test_nested_compounds(self, registry):
+        registry.add(make_tag(200, "everything", compound=True))
+        registry.add(make_tag(101, "all_locations", compound=True,
+                              compounds=(200,)))
+        registry.add(make_tag(10, "alice_location", compounds=(101,)))
+        # expansion is transitive through nested compounds
+        assert 10 in registry.expand({200})
+        assert registry.compounds_of(10) == {101, 200}
+
+    def test_member_added_after_nesting_propagates_up(self, registry):
+        registry.add(make_tag(200, "everything", compound=True))
+        registry.add(make_tag(101, "sub", compound=True, compounds=(200,)))
+        registry.add(make_tag(11, "leaf", compounds=(101,)))
+        assert 11 in registry.expand({200})
+
+    def test_compound_and_member_kinds_must_match(self, registry):
+        from repro.core.tags import INTEGRITY
+        reg = TagRegistry()
+        reg.add(Tag(id=1, name="c", owner=1, is_compound=True, kind=SECRECY))
+        with pytest.raises(ValueError):
+            reg.add(Tag(id=2, name="i", owner=1, kind=INTEGRITY,
+                        compounds=frozenset((1,))))

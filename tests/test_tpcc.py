@@ -1,0 +1,129 @@
+"""TPC-C workload tests: load correctness and transaction semantics."""
+
+import pytest
+
+from repro.db import Database
+from repro.workloads import TPCCConfig, TPCCWorkload, customer_last_name
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    db = Database(seed=7)
+    config = TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                        customers_per_district=12, items=40,
+                        initial_orders_per_district=9, seed=7)
+    workload = TPCCWorkload(db, config)
+    workload.load()
+    return db, workload
+
+
+class TestLoader:
+    def test_cardinalities(self, loaded):
+        db, workload = loaded
+        cfg = workload.config
+        session = db.connect(workload.process)
+        counts = {
+            "Warehouse": cfg.warehouses,
+            "District": cfg.warehouses * cfg.districts_per_warehouse,
+            "Customer": (cfg.warehouses * cfg.districts_per_warehouse
+                         * cfg.customers_per_district),
+            "Item": cfg.items,
+            "Stock": cfg.warehouses * cfg.items,
+            "Orders": (cfg.warehouses * cfg.districts_per_warehouse
+                       * cfg.initial_orders_per_district),
+        }
+        for table, expected in counts.items():
+            assert session.execute(
+                "SELECT COUNT(*) FROM %s" % table).scalar() == expected
+
+    def test_new_orders_are_undelivered_tail(self, loaded):
+        db, workload = loaded
+        session = db.connect(workload.process)
+        rows = session.query(
+            "SELECT o.o_carrier_id FROM NewOrder n JOIN Orders o "
+            "ON o.o_w_id = n.no_w_id AND o.o_d_id = n.no_d_id "
+            "AND o.o_id = n.no_o_id")
+        assert rows and all(r[0] is None for r in rows)
+
+    def test_last_name_generation(self):
+        assert customer_last_name(0) == "BARBARBAR"
+        assert customer_last_name(371) == "PRICALLYOUGHT"
+        assert customer_last_name(999) == "EINGEINGEING"
+
+
+class TestTransactions:
+    def test_new_order_advances_district_counter(self, loaded):
+        db, workload = loaded
+        session = db.connect(workload.process)
+        before = session.execute(
+            "SELECT SUM(d_next_o_id) FROM District").scalar()
+        commits_before = workload.stats.new_order_commits
+        rollbacks_before = workload.stats.rollbacks
+        for _ in range(5):
+            workload.txn_new_order()
+        after = session.execute(
+            "SELECT SUM(d_next_o_id) FROM District").scalar()
+        committed = workload.stats.new_order_commits - commits_before
+        assert committed + (workload.stats.rollbacks
+                            - rollbacks_before) == 5
+        assert after - before == committed
+
+    def test_payment_moves_balances(self, loaded):
+        db, workload = loaded
+        session = db.connect(workload.process)
+        ytd_before = session.execute(
+            "SELECT SUM(w_ytd) FROM Warehouse").scalar()
+        workload.txn_payment()
+        ytd_after = session.execute(
+            "SELECT SUM(w_ytd) FROM Warehouse").scalar()
+        assert ytd_after > ytd_before
+        assert session.execute(
+            "SELECT COUNT(*) FROM History").scalar() >= 1
+
+    def test_delivery_consumes_new_orders(self, loaded):
+        db, workload = loaded
+        session = db.connect(workload.process)
+        before = session.execute("SELECT COUNT(*) FROM NewOrder").scalar()
+        workload.txn_delivery()
+        after = session.execute("SELECT COUNT(*) FROM NewOrder").scalar()
+        assert after <= before
+
+    def test_order_status_and_stock_level_read_only(self, loaded):
+        db, workload = loaded
+        inserted_before = db.rows_inserted
+        workload.txn_order_status()
+        workload.txn_stock_level()
+        assert db.rows_inserted == inserted_before
+
+    def test_mix_distribution(self, loaded):
+        _db, workload = loaded
+        kinds = [workload._sample_mix() for _ in range(4000)]
+        share = kinds.count("new_order") / len(kinds)
+        assert 0.40 < share < 0.50
+        share = kinds.count("payment") / len(kinds)
+        assert 0.38 < share < 0.48
+
+
+class TestLabelledTPCC:
+    def test_tuples_carry_configured_label(self):
+        db = Database(seed=8)
+        workload = TPCCWorkload(db, TPCCConfig(
+            warehouses=1, districts_per_warehouse=1,
+            customers_per_district=3, items=5,
+            initial_orders_per_district=2, tags_per_label=3, seed=8))
+        workload.load()
+        table = db.catalog.get_table("Customer")
+        for version in table.all_versions():
+            assert version.label == workload.label
+            assert len(version.label) == 3
+
+    def test_runs_under_labels(self):
+        db = Database(seed=9)
+        workload = TPCCWorkload(db, TPCCConfig(
+            warehouses=1, districts_per_warehouse=1,
+            customers_per_district=5, items=10,
+            initial_orders_per_district=3, tags_per_label=2, seed=9))
+        workload.load()
+        stats = workload.run(30)
+        assert sum(stats.transactions.values()) + \
+            stats.serialization_aborts == 30
