@@ -33,7 +33,7 @@ from repro.bench import (
 )
 from repro.workloads import ClosedLoopSimulator, ServiceDemand
 
-from .common import report
+from .common import SMOKE, report, smoke
 
 WEB_CPU_SCALE = 150.0     # web boxes much weaker than the DB server
 DB_SCALE = 40.0           # disk-bound DB in the database-bound config
@@ -51,10 +51,11 @@ def demands():
     measured = {}
     for label, ifc in (("baseline", False), ("ifdb", True)):
         stack = build_cartel_stack(ifc_enabled=ifc, n_users=6,
-                                   cars_per_user=2, measurements=1200,
+                                   cars_per_user=2,
+                                   measurements=smoke(1200, 150),
                                    seed=31)
         measured[label] = measure_service_demands(
-            stack, repeats=40, web_cpu_scale=WEB_CPU_SCALE)
+            stack, repeats=smoke(40, 3), web_cpu_scale=WEB_CPU_SCALE)
     return measured
 
 
@@ -63,7 +64,9 @@ def _peak(demand_map, *, n_web, db_scale):
               for path, d in demand_map.items()}
     simulator = ClosedLoopSimulator(scaled, n_web_servers=n_web,
                                     db_concurrency=DB_CONCURRENCY, seed=5)
-    return simulator.peak_throughput(duration=1200.0).throughput
+    return simulator.peak_throughput(
+        duration=smoke(1200.0, 150.0),
+        max_clients=smoke(20000, 2000)).throughput
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +101,10 @@ def test_fig4_throughput(benchmark, results):
                   relative(wips["ifdb"], wips["baseline"]))
     report(table)
 
+    if SMOKE:
+        # Smoke mode only proves the script still runs end to end; the
+        # tiny population makes the shape statistically meaningless.
+        return
     db_bound = results["database-bound"]
     web_bound = results["web-server-bound"]
     db_gap = abs(db_bound["ifdb"] - db_bound["baseline"]) / \

@@ -18,7 +18,7 @@ from repro.bench import (
 )
 from repro.workloads import REQUEST_MIX
 
-from .common import report
+from .common import SMOKE, report, smoke
 
 SCRIPTS = [path for path, _w in REQUEST_MIX]
 #: Figure 5's approximate bar heights (ms), for the comparison column.
@@ -34,10 +34,11 @@ PAPER_MS = {
 
 @pytest.fixture(scope="module")
 def stacks():
+    measurements = smoke(900, 120)
     ifdb = build_cartel_stack(ifc_enabled=True, n_users=6, cars_per_user=2,
-                              measurements=900, seed=21)
+                              measurements=measurements, seed=21)
     base = build_cartel_stack(ifc_enabled=False, n_users=6, cars_per_user=2,
-                              measurements=900, seed=21)
+                              measurements=measurements, seed=21)
     return ifdb, base
 
 
@@ -66,17 +67,18 @@ def test_fig5_report(benchmark, stacks):
     weighted_base = 0.0
     weighted_ifdb = 0.0
     weights = dict(REQUEST_MIX)
+    repeats = smoke(60, 8)
     for path in SCRIPTS:
         # Interleaved, median-of-60 comparisons: the handlers run in
         # tens of microseconds, where scheduler noise swamps means.
         base_ms = min(measure_request_latency(base, path,
-                                              repeats=60).median,
+                                              repeats=repeats).median,
                       measure_request_latency(base, path,
-                                              repeats=60).median) * 1e3
+                                              repeats=repeats).median) * 1e3
         ifdb_ms = min(measure_request_latency(ifdb, path,
-                                              repeats=60).median,
+                                              repeats=repeats).median,
                       measure_request_latency(ifdb, path,
-                                              repeats=60).median) * 1e3
+                                              repeats=repeats).median) * 1e3
         paper_base, paper_ifdb = PAPER_MS[path]
         table.add(path, paper_base, paper_ifdb, "%.3f" % base_ms,
                   "%.3f" % ifdb_ms, relative(ifdb_ms, base_ms))
@@ -86,5 +88,7 @@ def test_fig5_report(benchmark, stacks):
               "%.3f" % weighted_base, "%.3f" % weighted_ifdb,
               relative(weighted_ifdb, weighted_base))
     report(table)
-    # Shape assertions: IFDB costs more overall.
-    assert weighted_ifdb > weighted_base
+    # Shape assertions: IFDB costs more overall (skipped in smoke mode,
+    # where the handful of repeats is pure noise).
+    if not SMOKE:
+        assert weighted_ifdb > weighted_base

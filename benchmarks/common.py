@@ -4,6 +4,14 @@
 pytest's default fd-level capture swallows stdout for passing tests, to
 ``benchmarks/results.txt`` — the authoritative copy, regenerated on
 every benchmark run.
+
+**Smoke mode** (``--smoke`` on the command line or the
+``REPRO_BENCH_SMOKE=1`` environment variable) shrinks every benchmark
+to tiny row counts and a fixed seed so the whole suite runs in seconds:
+no number it produces is meaningful, but every script still executes
+its full code path, which is what ``tests/test_bench_smoke.py`` checks
+so the perf scripts cannot silently rot.  Smoke runs never touch
+``results.txt``.
 """
 
 from __future__ import annotations
@@ -13,10 +21,21 @@ import sys
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
+#: True when running in smoke mode (tiny parameters, no results file).
+SMOKE = (os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+         or "--smoke" in sys.argv)
+
+
+def smoke(value, smoke_value):
+    """Pick the tiny smoke-mode parameter when smoke mode is active."""
+    return smoke_value if SMOKE else value
+
 
 def report(table) -> None:
     text = table.render() if hasattr(table, "render") else str(table)
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
+    if SMOKE:
+        return
     with open(RESULTS_PATH, "a") as handle:
         handle.write(text + "\n")

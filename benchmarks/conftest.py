@@ -1,0 +1,13 @@
+"""Registers the ``--smoke`` flag so pytest accepts it.
+
+``benchmarks/common.py`` reads the flag straight from ``sys.argv`` at
+import time (it must work outside pytest too); this hook only keeps
+pytest's argument parser from rejecting it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks with tiny row counts and fixed seeds "
+             "(see benchmarks/common.py)")

@@ -10,29 +10,50 @@ Subset comparisons in the presence of *compound tags* need the authority
 state to expand compounds into their member closure, so the comparison
 predicates live in :mod:`repro.core.rules` and take the tag registry as an
 argument.  The raw set operations here are registry-free.
+
+Labels are *interned*: constructing a label whose tag set was seen
+before returns the existing instance, so equal labels are identical
+objects.  This makes dict lookups on labels (the memoized ``covers``
+cache in :mod:`repro.core.rules`, scan-level visibility checks)
+identity-fast, and lets set algebra return ``self`` aggressively.  The
+intern table is capped; past the cap, fresh (non-identical but still
+equal) instances are handed out, so correctness never depends on
+interning.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator
+from typing import Dict, FrozenSet, Iterable, Iterator
+
+_INTERNED: Dict[FrozenSet[int], "Label"] = {}
+_INTERN_CAP = 1 << 20
 
 
 class Label:
-    """An immutable set of tag ids."""
+    """An immutable, interned set of tag ids."""
 
     __slots__ = ("_tags", "_hash")
 
-    def __init__(self, tags: Iterable[int] = ()):
-        object.__setattr__(self, "_tags", frozenset(tags))
-        object.__setattr__(self, "_hash", hash(self._tags))
+    def __new__(cls, tags: Iterable[int] = ()):
+        tags = tags if type(tags) is frozenset else frozenset(tags)
+        existing = _INTERNED.get(tags)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
+        object.__setattr__(self, "_tags", tags)
+        object.__setattr__(self, "_hash", hash(tags))
+        if len(_INTERNED) < _INTERN_CAP:
+            _INTERNED[tags] = self
+        return self
 
     # -- immutability -------------------------------------------------
     def __setattr__(self, name, value):
         raise AttributeError("Label instances are immutable")
 
     def __reduce__(self):
-        # Immutable __slots__ class: rebuild through the constructor so
-        # pickling (used by the dump/restore tooling) works.
+        # Rebuild through the constructor so pickling (used by the
+        # dump/restore tooling) round-trips through the intern table:
+        # an unpickled label is identical to the live one.
         return (Label, (tuple(self._tags),))
 
     # -- basic protocol -----------------------------------------------
@@ -53,6 +74,8 @@ class Label:
         return bool(self._tags)
 
     def __eq__(self, other) -> bool:
+        if other is self:
+            return True
         if isinstance(other, Label):
             return self._tags == other._tags
         if isinstance(other, (set, frozenset)):

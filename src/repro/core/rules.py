@@ -17,12 +17,48 @@ platform so there is exactly one implementation of each rule:
 All subset comparisons expand compound tags: a label containing
 ``all_drives`` covers one containing ``alice_drives``.  Integrity labels
 obey the dual rules (``LS ⊇ LD`` for flows).
+
+The expansion-path comparisons are *memoized* per registry, keyed on
+``(tuple_label, process_label, registry_version)``: labels are interned
+(:mod:`repro.core.labels`), compound membership is fixed at tag-creation
+time, and the registry version bumps on every tag registration — so a
+cached verdict can never go stale, and the per-tuple ``covers``/``strip``
+calls on the scan hot path (Query by Label, section 4.2) collapse to a
+single dict hit once a (label, label) pair has been seen.
 """
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from .labels import Label
 from .tags import TagRegistry
+
+_CACHE_CAP = 1 << 16
+
+
+class _RuleCache:
+    """Memoized covers/strip verdicts for one registry version."""
+
+    __slots__ = ("version", "covers", "strip")
+
+    def __init__(self, version):
+        self.version = version
+        self.covers = {}
+        self.strip = {}
+
+
+_RULE_CACHES: "WeakKeyDictionary[TagRegistry, _RuleCache]" = \
+    WeakKeyDictionary()
+
+
+def _cache_for(registry: TagRegistry) -> _RuleCache:
+    cache = _RULE_CACHES.get(registry)
+    version = getattr(registry, "version", None)
+    if cache is None or cache.version != version:
+        cache = _RuleCache(version)
+        _RULE_CACHES[registry] = cache
+    return cache
 
 
 def covers(registry: TagRegistry, low: Label, high: Label) -> bool:
@@ -37,7 +73,14 @@ def covers(registry: TagRegistry, low: Label, high: Label) -> bool:
     high_tags = high.tags
     if low_tags <= high_tags:           # fast path: plain subset
         return True
-    return low_tags <= registry.expand(high_tags)
+    memo = _cache_for(registry).covers
+    key = (low, high)
+    verdict = memo.get(key)
+    if verdict is None:
+        verdict = low_tags <= registry.expand(high_tags)
+        if len(memo) < _CACHE_CAP:
+            memo[key] = verdict
+    return verdict
 
 
 def same_contamination(registry: TagRegistry, a: Label, b: Label) -> bool:
@@ -91,13 +134,23 @@ def strip(registry: TagRegistry, label: Label, declassified: Label) -> Label:
 
     A compound tag in ``declassified`` strips all of its member tags.
     Used by declassifying views (section 4.3) and explicit declassify
-    with compound authority.
+    with compound authority.  Memoized like :func:`covers`: a
+    declassifying view strips the same (label, declassify) pair for
+    every tuple it scans.
     """
-    removable = registry.expand(declassified.tags)
-    remaining = [t for t in label.tags if t not in removable]
-    if len(remaining) == len(label):
+    if not label.tags or not declassified.tags:
         return label
-    return Label(remaining)
+    memo = _cache_for(registry).strip
+    key = (label, declassified)
+    stripped = memo.get(key)
+    if stripped is None:
+        removable = registry.expand(declassified.tags)
+        remaining = [t for t in label.tags if t not in removable]
+        stripped = label if len(remaining) == len(label) \
+            else Label(remaining)
+        if len(memo) < _CACHE_CAP:
+            memo[key] = stripped
+    return stripped
 
 
 def symmetric_difference(a: Label, b: Label) -> Label:

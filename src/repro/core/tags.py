@@ -55,6 +55,11 @@ class TagRegistry:
         # compound id -> transitive closure of member tag ids (excluding
         # the compound itself).
         self._members: Dict[int, Set[int]] = {}
+        #: Bumped on every registration.  Compound membership is fixed at
+        #: tag creation, so the answers of ``expand`` (and anything
+        #: memoized over them, see :mod:`repro.core.rules`) can only
+        #: change when this counter does.
+        self.version = 0
 
     # -- registration ---------------------------------------------------
     def add(self, tag: Tag) -> None:
@@ -76,6 +81,7 @@ class TagRegistry:
             self._members.setdefault(tag.id, set())
         for compound_id in tag.compounds:
             self._add_member(compound_id, tag.id)
+        self.version += 1
 
     def _add_member(self, compound_id: int, member_id: int) -> None:
         """Record membership and propagate up through nested compounds."""

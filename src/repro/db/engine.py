@@ -33,9 +33,12 @@ from .catalog import (
     TriggerDef,
     ViewDef,
 )
-from .expressions import Scope
+from .expressions import Scope, to_sql
+from .logical import split_conjuncts
+from .optimizer import best_index, constant_equality
 from .pages import BufferCache
-from .planner import Planner, PreparedSelect
+from .physical import PreparedSelect, explain_plan
+from .planner import Planner
 from .schema import (
     CheckConstraint,
     Column,
@@ -102,6 +105,27 @@ class PreparedDML:
         self.assignments = assignments
 
 
+class PreparedInsert:
+    """A planned INSERT: target positions, defaults, compiled sources.
+
+    Either ``row_fns`` (VALUES form: one list of compiled expressions
+    per row) or ``select`` (INSERT ... SELECT form) is set.  Compiling
+    the value expressions once per statement instead of once per
+    execution is a large win for insert-heavy workloads (TPC-C).
+    """
+
+    __slots__ = ("table", "target_positions", "defaults", "row_fns",
+                 "select")
+
+    def __init__(self, table: Table, target_positions: List[int],
+                 defaults: List, row_fns, select):
+        self.table = table
+        self.target_positions = target_positions
+        self.defaults = defaults
+        self.row_fns = row_fns
+        self.select = select
+
+
 class Database:
     """An IFDB database instance."""
 
@@ -129,8 +153,14 @@ class Database:
                                         io_penalty=io_penalty)
         self.planner = Planner(self.catalog, self.authority.tags)
         self._parse_cache: Dict[str, object] = {}
-        self._select_cache: Dict[Tuple[int, int], PreparedSelect] = {}
-        self._dml_cache: Dict[Tuple[int, int], PreparedDML] = {}
+        # Prepared-plan caches, keyed by SQL text (or statement identity
+        # for programmatic statements).  The whole cache is versioned by
+        # ``plan_cache_epoch``: any DDL or tag-registry change clears it,
+        # which both invalidates stale plans and bounds growth.
+        self._select_cache: Dict[object, Tuple[object, PreparedSelect]] = {}
+        self._dml_cache: Dict[object, Tuple[object, PreparedDML]] = {}
+        self._insert_cache: Dict[object, Tuple[object, PreparedInsert]] = {}
+        self._plan_epoch: Optional[Tuple[int, int]] = None
         # Activity counters (read by benchmarks and tests).
         self.statements_executed = 0
         self.rows_inserted = 0
@@ -160,11 +190,33 @@ class Database:
     def parse_script(self, sql: str):
         return parse_script(sql)
 
+    def plan_cache_epoch(self) -> Tuple[int, int]:
+        """The versions the prepared-plan caches are keyed on.
+
+        ``catalog.version`` bumps on every DDL statement — including
+        ``CREATE/DROP INDEX`` and view changes — and ``tags.version``
+        bumps on every tag-registry mutation (new tags, compound-tag
+        membership).  Declassifying-view *authority* is deliberately not
+        part of the epoch: cached plans re-validate the view principal's
+        authority on every execution, so revocation takes effect without
+        a replan.
+        """
+        return (self.catalog.version, self.authority.tags.version)
+
+    def _check_plan_epoch(self) -> None:
+        epoch = self.plan_cache_epoch()
+        if epoch != self._plan_epoch:
+            self._select_cache.clear()
+            self._dml_cache.clear()
+            self._insert_cache.clear()
+            self._plan_epoch = epoch
+
     def prepare_select(self, statement: ast.Select,
                        sql: Optional[str]) -> PreparedSelect:
         # The cache keeps a strong reference to the statement so the
-        # id()-based key can never alias a recycled object.
-        key = (id(statement), self.catalog.version)
+        # id()-based fallback key can never alias a recycled object.
+        self._check_plan_epoch()
+        key = sql if sql is not None else id(statement)
         cached = self._select_cache.get(key)
         if cached is not None and cached[0] is statement:
             return cached[1]
@@ -173,7 +225,8 @@ class Database:
         return prepared
 
     def prepare_dml(self, statement, sql: Optional[str]) -> PreparedDML:
-        key = (id(statement), self.catalog.version)
+        self._check_plan_epoch()
+        key = sql if sql is not None else id(statement)
         cached = self._dml_cache.get(key)
         if cached is not None and cached[0] is statement:
             return cached[1]
@@ -181,30 +234,77 @@ class Database:
         self._dml_cache[key] = (statement, prepared)
         return prepared
 
+    def prepare_insert(self, statement: ast.Insert,
+                       sql: Optional[str]) -> PreparedInsert:
+        self._check_plan_epoch()
+        key = sql if sql is not None else id(statement)
+        cached = self._insert_cache.get(key)
+        if cached is not None and cached[0] is statement:
+            return cached[1]
+        prepared = self._plan_insert(statement)
+        self._insert_cache[key] = (statement, prepared)
+        return prepared
+
+    def _plan_insert(self, statement: ast.Insert) -> PreparedInsert:
+        table = self.catalog.get_table(statement.table)
+        schema = table.schema
+        if statement.columns is not None:
+            target_cols = list(statement.columns)
+        else:
+            target_cols = list(schema.column_names)
+        positions = [schema.position(col) for col in target_cols]
+        defaults = [column.default if column.has_default else None
+                    for column in schema.columns]
+        row_fns = None
+        select = None
+        if statement.select is not None:
+            select = self.prepare_select(statement.select, None)
+        else:
+            compiler = self.planner.compiler(Scope())
+            row_fns = [[compiler.compile(e) for e in row]
+                       for row in statement.rows]
+        return PreparedInsert(table, positions, defaults, row_fns, select)
+
+    def explain(self, statement, sql: Optional[str] = None) -> List[str]:
+        """One line per plan operator for ``EXPLAIN`` (shares the plan
+        caches, so the rendered tree is the one execution would use)."""
+        if isinstance(statement, ast.Select):
+            prepared = self.prepare_select(statement, sql)
+            return explain_plan(prepared.plan)
+        if isinstance(statement, (ast.Update, ast.Delete)):
+            prepared = self.prepare_dml(statement, sql)
+            verb = "Update" if isinstance(statement, ast.Update) \
+                else "Delete"
+            return ["%s %s" % (verb, statement.table),
+                    "  " + prepared.scan.explain]
+        raise DatabaseError(
+            "EXPLAIN supports SELECT, UPDATE, and DELETE, not %s"
+            % type(statement).__name__)
+
     def _plan_dml(self, statement) -> PreparedDML:
         table = self.catalog.get_table(statement.table)
         scope = Scope()
         scope.add_table(table.name, table.schema.column_names)
         compiler = self.planner.compiler(scope)
 
-        from .planner import _split_conjuncts
-        conjuncts = _split_conjuncts(statement.where)
+        conjuncts = split_conjuncts(statement.where)
         eq_cols = {}
         for conjunct in conjuncts:
-            col, value = self.planner._constant_equality(
-                conjunct, table.name, scope)
+            col, value = constant_equality(conjunct, table.name, scope)
             if col is not None and col not in eq_cols:
                 eq_cols[col] = (conjunct, value)
         index = None
         n_keys = 0
         if eq_cols:
-            index, n_keys = self.planner._best_index(table, set(eq_cols))
+            index, n_keys = best_index(table, set(eq_cols))
         key_fns = []
+        key_texts = []
         residual = list(conjuncts)
         if index is not None:
             for col in index.columns[:n_keys]:
                 conjunct, value = eq_cols[col]
                 key_fns.append(compiler.compile(value))
+                key_texts.append("%s = %s" % (col, to_sql(value)))
                 residual.remove(conjunct)
         predicate = None
         if residual:
@@ -212,6 +312,14 @@ class Database:
             node = residual[0] if len(residual) == 1 else And(residual)
             predicate = compiler.compile(node)
         scan = DMLScan(table, index, key_fns, predicate)
+        if index is not None:
+            scan.explain = "DMLScan %s using %s (%s)" % (
+                table.name, index.name, ", ".join(key_texts))
+        else:
+            scan.explain = "DMLScan %s" % table.name
+        if residual:
+            scan.explain += " filter (%s)" % " AND ".join(
+                to_sql(c) for c in residual)
 
         assignments: List[Tuple[int, Callable]] = []
         if isinstance(statement, ast.Update):
@@ -241,6 +349,18 @@ class Database:
         index = table.create_index(name, columns, ordered=ordered)
         self.catalog._bump()
         return index
+
+    def drop_index(self, name: str) -> None:
+        owners = [table for table in self.catalog.tables.values()
+                  if name in table.indexes]
+        if not owners:
+            raise CatalogError("index %r does not exist" % name)
+        if len(owners) > 1:
+            raise CatalogError(
+                "index name %r is ambiguous (tables: %s)"
+                % (name, ", ".join(sorted(t.name for t in owners))))
+        owners[0].drop_index(name)
+        self.catalog._bump()
 
     def create_view(self, name: str, select: ast.Select, *,
                     declassify: Label = EMPTY_LABEL,
@@ -321,6 +441,9 @@ class Database:
             return Result()
         if isinstance(statement, ast.DropView):
             self.catalog.drop_view(statement.name)
+            return Result()
+        if isinstance(statement, ast.DropIndex):
+            self.drop_index(statement.name)
             return Result()
         raise DatabaseError("unsupported statement %r" % (statement,))
 

@@ -781,6 +781,78 @@ class ExprCompiler:
         return run
 
 
+def to_sql(node: Expr) -> str:
+    """Render an expression AST as SQL-ish text (EXPLAIN output).
+
+    The rendering is for humans: parameters print as ``?``, subqueries
+    collapse to ``(subquery)``, and internal slot references print as
+    ``#n`` (their position in the execution row).
+    """
+    if isinstance(node, Literal):
+        if node.value is None:
+            return "NULL"
+        if isinstance(node.value, str):
+            return "'%s'" % node.value.replace("'", "''")
+        return str(node.value)
+    if isinstance(node, Param):
+        return "?"
+    if isinstance(node, ColumnRef):
+        return "%s.%s" % (node.table, node.name) if node.table else node.name
+    if isinstance(node, Star):
+        return "%s.*" % node.table if node.table else "*"
+    if isinstance(node, (SlotRef, AggSlotRef)):
+        return "#%d" % node.slot
+    if isinstance(node, (BinOp, Compare)):
+        return "%s %s %s" % (to_sql(node.left), node.op, to_sql(node.right))
+    if isinstance(node, And):
+        return " AND ".join("(%s)" % to_sql(i) if isinstance(i, Or)
+                            else to_sql(i) for i in node.items)
+    if isinstance(node, Or):
+        return " OR ".join(to_sql(i) for i in node.items)
+    if isinstance(node, Not):
+        return "NOT (%s)" % to_sql(node.operand)
+    if isinstance(node, Neg):
+        return "-%s" % to_sql(node.operand)
+    if isinstance(node, IsNull):
+        return "%s IS %sNULL" % (to_sql(node.operand),
+                                 "NOT " if node.negated else "")
+    if isinstance(node, InList):
+        return "%s %sIN (%s)" % (to_sql(node.operand),
+                                 "NOT " if node.negated else "",
+                                 ", ".join(to_sql(i) for i in node.items))
+    if isinstance(node, Between):
+        return "%s %sBETWEEN %s AND %s" % (
+            to_sql(node.operand), "NOT " if node.negated else "",
+            to_sql(node.low), to_sql(node.high))
+    if isinstance(node, Like):
+        return "%s %sLIKE %s" % (to_sql(node.operand),
+                                 "NOT " if node.negated else "",
+                                 to_sql(node.pattern))
+    if isinstance(node, FuncCall):
+        return "%s(%s)" % (node.name,
+                           ", ".join(to_sql(a) for a in node.args))
+    if isinstance(node, Aggregate):
+        arg = "*" if node.arg is None else to_sql(node.arg)
+        return "%s(%s%s)" % (node.func,
+                             "DISTINCT " if node.distinct else "", arg)
+    if isinstance(node, Case):
+        parts = ["CASE"]
+        for cond, value in node.whens:
+            parts.append("WHEN %s THEN %s" % (to_sql(cond), to_sql(value)))
+        if node.default is not None:
+            parts.append("ELSE %s" % to_sql(node.default))
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(node, Exists):
+        return "%sEXISTS (subquery)" % ("NOT " if node.negated else "")
+    if isinstance(node, InSelect):
+        return "%s %sIN (subquery)" % (to_sql(node.operand),
+                                       "NOT " if node.negated else "")
+    if isinstance(node, ScalarSelect):
+        return "(subquery)"
+    return repr(node)
+
+
 def contains_aggregate(node: Expr) -> bool:
     """True if the expression tree contains an Aggregate node."""
     if isinstance(node, Aggregate):

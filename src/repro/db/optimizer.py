@@ -1,0 +1,537 @@
+"""The rule-based optimizer: the middle of the three planner layers.
+
+Takes a :class:`~repro.db.logical.LogicalQuery` and annotates it with
+execution strategy, applying four rule families in order:
+
+1. **Constant folding** — literal-only subexpressions of WHERE and join
+   conditions are evaluated at plan time (``1 = 1`` disappears from
+   conjunct lists, ``2 + 3`` becomes ``5``).
+2. **Predicate pushdown** — each WHERE conjunct is classified by the
+   FROM entries it references: single-entry conjuncts are pushed into
+   that entry's scan, multi-entry conjuncts become extra join
+   conditions on the latest entry they touch, and everything else
+   (subqueries, outer references) stays as a residual filter.  A
+   conjunct is **never** pushed below a LEFT JOIN's nullable side, and
+   never through a derived (view/subquery) boundary — predicates on a
+   declassifying view are evaluated above its label-stripping
+   :class:`~repro.db.physical.ViewPlan` node, so they observe stripped
+   labels only.
+3. **Access-path selection** — pushed equality conjuncts of the form
+   ``col = constant-expr`` are matched against the table's indexes; the
+   best covering index (full key for hash indexes, any key prefix for
+   ordered indexes) turns the scan into an index scan with the matched
+   conjuncts consumed by the key and the rest kept as a residual
+   predicate.
+4. **Join-strategy selection** — equi-join conditions (``right.col =
+   expr(left)``) drive an index-nested-loop join when the inner table
+   has a usable index, otherwise a hash join; joins with no equi-pairs
+   fall back to a nested-loop join.
+
+The annotations are plain data (``AccessPath``/``JoinChoice``); the
+lowering to physical operators lives in :mod:`repro.db.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import CatalogError, DatabaseError
+from . import expressions as ex
+from .logical import LogicalQuery, SourceEntry, collect_columns, \
+    relayout, split_conjuncts
+from .storage import Table
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+_FOLD_SCOPE = ex.Scope()
+
+#: Node types that are safe to evaluate at plan time once every child is
+#: a literal: deterministic, context-free, and side-effect free.
+_FOLDABLE = (ex.Neg, ex.Not, ex.BinOp, ex.Compare, ex.IsNull, ex.Between,
+             ex.Like)
+
+
+def _eval_const(node: ex.Expr):
+    return ex.ExprCompiler(_FOLD_SCOPE).compile(node)([], None)
+
+
+def _literal(node: ex.Expr) -> bool:
+    return isinstance(node, ex.Literal)
+
+
+def fold_constants(node: ex.Expr) -> ex.Expr:
+    """Bottom-up constant folding with TRUE/FALSE simplification.
+
+    ``None`` literals (SQL UNKNOWN) are preserved — dropping them from
+    AND/OR would change three-valued results that projections can
+    observe.  Expressions that raise when evaluated (e.g. ``1/0``) are
+    left unfolded so the error surfaces at execution time, as before.
+    """
+    if isinstance(node, (ex.Literal, ex.Param, ex.ColumnRef, ex.Star,
+                         ex.SlotRef, ex.AggSlotRef, ex.Exists, ex.InSelect,
+                         ex.ScalarSelect, ex.Aggregate)):
+        return node
+    if isinstance(node, ex.And):
+        items = []
+        for item in node.items:
+            folded = fold_constants(item)
+            if _literal(folded) and folded.value is True:
+                continue
+            if _literal(folded) and folded.value is False:
+                return ex.Literal(False)
+            items.append(folded)
+        if not items:
+            return ex.Literal(True)
+        return items[0] if len(items) == 1 else ex.And(items)
+    if isinstance(node, ex.Or):
+        items = []
+        for item in node.items:
+            folded = fold_constants(item)
+            if _literal(folded) and folded.value is False:
+                continue
+            if _literal(folded) and folded.value is True:
+                return ex.Literal(True)
+            items.append(folded)
+        if not items:
+            return ex.Literal(False)
+        return items[0] if len(items) == 1 else ex.Or(items)
+    if isinstance(node, ex.Neg):
+        rebuilt = ex.Neg(fold_constants(node.operand))
+    elif isinstance(node, ex.Not):
+        rebuilt = ex.Not(fold_constants(node.operand))
+    elif isinstance(node, ex.BinOp):
+        rebuilt = ex.BinOp(node.op, fold_constants(node.left),
+                           fold_constants(node.right))
+    elif isinstance(node, ex.Compare):
+        rebuilt = ex.Compare(node.op, fold_constants(node.left),
+                             fold_constants(node.right))
+    elif isinstance(node, ex.IsNull):
+        rebuilt = ex.IsNull(fold_constants(node.operand), node.negated)
+    elif isinstance(node, ex.Between):
+        rebuilt = ex.Between(fold_constants(node.operand),
+                             fold_constants(node.low),
+                             fold_constants(node.high), node.negated)
+    elif isinstance(node, ex.Like):
+        rebuilt = ex.Like(fold_constants(node.operand),
+                          fold_constants(node.pattern), node.negated)
+    elif isinstance(node, ex.InList):
+        return ex.InList(fold_constants(node.operand),
+                         [fold_constants(i) for i in node.items],
+                         node.negated)
+    elif isinstance(node, ex.FuncCall):
+        return ex.FuncCall(node.name,
+                           [fold_constants(a) for a in node.args])
+    elif isinstance(node, ex.Case):
+        return ex.Case([(fold_constants(c), fold_constants(v))
+                        for c, v in node.whens],
+                       fold_constants(node.default)
+                       if node.default is not None else None)
+    else:
+        return node
+    if isinstance(rebuilt, _FOLDABLE) and _all_literal_children(rebuilt):
+        try:
+            return ex.Literal(_eval_const(rebuilt))
+        except Exception:
+            return rebuilt
+    return rebuilt
+
+
+def _all_literal_children(node: ex.Expr) -> bool:
+    for attr in node.__slots__:
+        child = getattr(node, attr)
+        if isinstance(child, ex.Expr) and not _literal(child):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# access paths and join strategies (optimizer output)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FullScanAccess:
+    """Heap scan with the pushed conjuncts as the scan predicate."""
+
+    conjuncts: List[ex.Expr]
+
+
+@dataclass
+class IndexEqAccess:
+    """Index probe on ``key_columns``; the rest filters the result."""
+
+    index: object
+    key_columns: Tuple[str, ...]
+    key_exprs: List[ex.Expr]
+    residual: List[ex.Expr]
+
+
+@dataclass
+class IndexJoinChoice:
+    """Inner side probed through a base-table index per left row."""
+
+    index: object
+    key_columns: Tuple[str, ...]
+    key_exprs: List[ex.Expr]
+    residual: List[ex.Expr]                  # on the combined row
+
+
+@dataclass
+class HashJoinChoice:
+    """Equi-join: build on right columns, probe with left expressions."""
+
+    left_exprs: List[ex.Expr]
+    right_columns: List[str]
+    residual: List[ex.Expr]
+
+
+@dataclass
+class NestedJoinChoice:
+    residual: List[ex.Expr]
+
+
+# ---------------------------------------------------------------------------
+# shared matching helpers (also used by the engine's DML planner)
+# ---------------------------------------------------------------------------
+
+def constant_equality(conjunct, alias, local_scope):
+    """Match ``col = constant-expr`` where the expr has no local
+    column references.  Returns (column_name, value_expr) or (None,
+    None)."""
+    if not isinstance(conjunct, ex.Compare) or conjunct.op != "=":
+        return None, None
+    for col_side, val_side in ((conjunct.left, conjunct.right),
+                               (conjunct.right, conjunct.left)):
+        if not isinstance(col_side, ex.ColumnRef):
+            continue
+        if col_side.name == "_label":
+            continue
+        if col_side.table is not None and col_side.table != alias:
+            continue
+        try:
+            local_scope.resolve(col_side.name, col_side.table)
+        except CatalogError:
+            continue
+        refs: List[ex.ColumnRef] = []
+        opaque = [False]
+        collect_columns(val_side, refs, opaque)
+        if opaque[0]:
+            continue
+        local = False
+        for ref in refs:
+            try:
+                depth, _ = local_scope.resolve_depth(ref.name, ref.table)
+            except CatalogError:
+                local = True   # unresolvable: play safe, don't push
+                break
+            if depth == 0:
+                local = True
+                break
+        if not local:
+            return col_side.name, val_side
+    return None, None
+
+
+def best_index(table: Table, available: set):
+    """Pick the best index for equality predicates on ``available``.
+
+    Returns ``(index, n_key_columns)``.  A hash index needs every
+    column covered; an ordered index can be probed on any covered
+    *prefix* of its columns (B-tree-style).
+    """
+    from .indexes import OrderedIndex
+    best = None
+    best_len = 0
+    for index in table.indexes.values():
+        cols = index.columns
+        if set(cols) <= available and len(cols) > best_len:
+            best = index
+            best_len = len(cols)
+    if best is not None:
+        return best, best_len
+    for index in table.indexes.values():
+        if not isinstance(index, OrderedIndex):
+            continue
+        n = 0
+        for col in index.columns:
+            if col in available:
+                n += 1
+            else:
+                break
+        if n > best_len:
+            best = index
+            best_len = n
+    return best, best_len
+
+
+def _covered_by(conjunct, covered_cols, alias, local_scope, eq_cols) -> bool:
+    col, value = constant_equality(conjunct, alias, local_scope)
+    return (col is not None and col in covered_cols
+            and eq_cols.get(col) is value)
+
+
+def _equi_pair(conjunct, entry: SourceEntry, left_aliases: set,
+               scope: ex.Scope):
+    """Match ``right.col = expr(left)`` (either side order)."""
+    if not isinstance(conjunct, ex.Compare) or conjunct.op != "=":
+        return None
+    for col_side, other in ((conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left)):
+        if not isinstance(col_side, ex.ColumnRef):
+            continue
+        if col_side.name == "_label":
+            continue
+        # The column must belong to the right entry.
+        try:
+            depth, index = scope.resolve_depth(col_side.name,
+                                               col_side.table)
+        except CatalogError:
+            continue
+        if depth != 0 or scope.entries[index][0] != entry.alias:
+            continue
+        # The other side must reference only left-side aliases (or
+        # outer scopes / params / literals).
+        refs: List[ex.ColumnRef] = []
+        opaque = [False]
+        collect_columns(other, refs, opaque)
+        if opaque[0]:
+            continue
+        ok = True
+        for ref in refs:
+            depth_r, index_r = scope.resolve_depth(ref.name, ref.table)
+            if depth_r == 0 and scope.entries[index_r][0] not in \
+                    left_aliases:
+                ok = False
+                break
+        if ok:
+            return (col_side.name, other)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the optimizer
+# ---------------------------------------------------------------------------
+
+class Optimizer:
+    """Annotates logical queries with access paths and join strategies."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def optimize(self, query: LogicalQuery) -> LogicalQuery:
+        if query.optimized:
+            return query
+        query.optimized = True
+        if not query.entries:
+            query.residual_where = [fold_constants(c)
+                                    for c in query.where_conjuncts]
+            return query
+        self._reorder_entries(query)
+        join_extra = self._classify_where(query)
+        for i, entry in enumerate(query.entries):
+            if entry.table is not None:
+                entry.access = self._choose_access(entry, query.scope)
+            if i > 0:
+                self._choose_join(query, i, join_extra[i])
+        return query
+
+    # -- rule 2a: join reordering ------------------------------------------
+    def _reorder_entries(self, query: LogicalQuery) -> None:
+        """Lead an all-inner join with its most selective entry.
+
+        For a chain of inner joins, ON conditions and WHERE conjuncts
+        are interchangeable, so both pools merge and the entry that can
+        be driven by an *index* on a local equality predicate becomes
+        the leading (outermost) entry.  This turns "scan the big fact
+        table, probe the filtered dimension" plans into "index-scan the
+        filtered entry, index-probe the fact table".  Queries with LEFT
+        JOINs keep their written order (reordering would change
+        NULL-extension semantics), and an unqualified ``*`` pins the
+        order too, because its output columns follow entry order.
+        """
+        entries = query.entries
+        if len(entries) < 2 or any(e.join_kind != "inner"
+                                   for e in entries[1:]):
+            return
+        if any(isinstance(item.expr, ex.Star) and item.expr.table is None
+               for item in query.select.items):
+            return
+        # Merge ON conditions into the WHERE pool; classification will
+        # redistribute every conjunct against the final order.
+        pool = list(query.where_conjuncts)
+        for entry in entries[1:]:
+            pool.extend(split_conjuncts(entry.join_on))
+            entry.join_on = None
+        query.where_conjuncts = pool
+
+        entry_index = {e.alias: i for i, e in enumerate(entries)}
+        local_conjs: List[List[ex.Expr]] = [[] for _ in entries]
+        for conjunct in pool:
+            refs: List[ex.ColumnRef] = []
+            opaque = [False]
+            collect_columns(conjunct, refs, opaque)
+            if opaque[0]:
+                continue
+            touched = set()
+            outer_ref = False
+            for ref in refs:
+                depth, index = query.scope.resolve_depth(ref.name,
+                                                         ref.table)
+                if depth > 0:
+                    outer_ref = True
+                    break
+                touched.add(entry_index[query.scope.entries[index][0]])
+            if not outer_ref and len(touched) == 1:
+                local_conjs[touched.pop()].append(conjunct)
+
+        def selectivity(i: int) -> int:
+            entry = entries[i]
+            if not local_conjs[i]:
+                return 0
+            if entry.table is None:
+                return 1
+            local_scope = ex.Scope(outer=query.scope.outer)
+            local_scope.add_table(entry.alias, entry.columns)
+            eq_columns = set()
+            for conjunct in local_conjs[i]:
+                col, _value = constant_equality(conjunct, entry.alias,
+                                                local_scope)
+                if col is not None:
+                    eq_columns.add(col)
+            if eq_columns and best_index(entry.table,
+                                         eq_columns)[0] is not None:
+                return 2
+            return 1
+
+        scores = [selectivity(i) for i in range(len(entries))]
+        leader = max(range(len(entries)), key=lambda i: scores[i])
+        if leader != 0 and scores[leader] > scores[0]:
+            entries.insert(0, entries.pop(leader))
+            entries[0].join_kind = "inner"
+            relayout(query)
+
+    # -- rule 2: predicate pushdown --------------------------------------
+    def _classify_where(self, query: LogicalQuery) -> List[List[ex.Expr]]:
+        """Distribute WHERE conjuncts; returns per-entry join extras."""
+        entries = query.entries
+        scope = query.scope
+        entry_index = {e.alias: i for i, e in enumerate(entries)}
+        join_extra: List[List[ex.Expr]] = [[] for _ in entries]
+        for conjunct in query.where_conjuncts:
+            conjunct = fold_constants(conjunct)
+            if _literal(conjunct) and conjunct.value is True:
+                continue
+            refs: List[ex.ColumnRef] = []
+            opaque = [False]
+            collect_columns(conjunct, refs, opaque)
+            touched = set()
+            local_only = True
+            for ref in refs:
+                depth, index = scope.resolve_depth(ref.name, ref.table)
+                if depth > 0:
+                    local_only = False
+                    continue
+                alias = scope.entries[index][0]
+                touched.add(entry_index[alias])
+            if opaque[0] or not local_only:
+                query.residual_where.append(conjunct)
+            elif len(touched) == 1:
+                target = touched.pop()
+                # Cannot push below a LEFT JOIN's nullable side.
+                if entries[target].join_kind == "left":
+                    query.residual_where.append(conjunct)
+                else:
+                    entries[target].pushed.append(conjunct)
+            elif touched:
+                join_extra[max(touched)].append(conjunct)
+            else:
+                query.residual_where.append(conjunct)
+        return join_extra
+
+    # -- rule 3: access-path selection ------------------------------------
+    def _choose_access(self, entry: SourceEntry, scope_full: ex.Scope):
+        local_scope = ex.Scope(outer=scope_full.outer)
+        local_scope.add_table(entry.alias, entry.columns)
+        eq_cols = {}
+        for conjunct in entry.pushed:
+            col, value = constant_equality(conjunct, entry.alias,
+                                           local_scope)
+            if col is not None and col not in eq_cols:
+                eq_cols[col] = value
+        index = None
+        n_keys = 0
+        if eq_cols:
+            index, n_keys = best_index(entry.table, set(eq_cols))
+        if index is None:
+            return FullScanAccess(list(entry.pushed))
+        key_columns = tuple(index.columns[:n_keys])
+        covered = set(key_columns)
+        residual = [c for c in entry.pushed
+                    if not _covered_by(c, covered, entry.alias,
+                                       local_scope, eq_cols)]
+        return IndexEqAccess(index=index, key_columns=key_columns,
+                             key_exprs=[eq_cols[c] for c in key_columns],
+                             residual=residual)
+
+    # -- rule 4: join-strategy selection ----------------------------------
+    def _choose_join(self, query: LogicalQuery, i: int,
+                     extra: List[ex.Expr]) -> None:
+        entry = query.entries[i]
+        scope = query.scope
+        kind = entry.join_kind
+        left_aliases = {e.alias for e in query.entries[:i]}
+        on_conjuncts = [fold_constants(c)
+                        for c in split_conjuncts(entry.join_on)]
+        if kind == "inner":
+            on_conjuncts = on_conjuncts + extra
+        elif extra:
+            # Multi-table WHERE conjuncts touching a left join's right
+            # side must filter *after* the join.
+            entry.post_filters = list(extra)
+
+        eq_pairs: List[Tuple[str, ex.Expr]] = []   # (right col, left expr)
+        residual: List[ex.Expr] = []
+        for conjunct in on_conjuncts:
+            pair = _equi_pair(conjunct, entry, left_aliases, scope)
+            if pair is not None:
+                eq_pairs.append(pair)
+            else:
+                residual.append(conjunct)
+
+        if entry.table is not None and eq_pairs and kind in ("inner", "left"):
+            index, n_keys = best_index(entry.table, {c for c, _ in eq_pairs})
+            if index is not None:
+                key_columns = tuple(index.columns[:n_keys])
+                # One pair per key column drives the probe; every other
+                # pair — a non-key column, or a *second* equality on the
+                # same column (a.id = b.id AND b.id = c.id funnelled
+                # onto b) — must survive as a residual condition.
+                by_col: dict = {}
+                leftover_pairs: List[Tuple[str, ex.Expr]] = []
+                for col, expr in eq_pairs:
+                    if col in key_columns and col not in by_col:
+                        by_col[col] = expr
+                    else:
+                        leftover_pairs.append((col, expr))
+                leftovers = [ex.Compare("=",
+                                        ex.ColumnRef(c, entry.alias),
+                                        expr)
+                             for c, expr in leftover_pairs]
+                pushed_extra = entry.pushed if kind == "inner" else []
+                if kind == "left" and entry.pushed:
+                    raise DatabaseError(
+                        "internal: predicates pushed below a left join")
+                entry.join = IndexJoinChoice(
+                    index=index, key_columns=key_columns,
+                    key_exprs=[by_col[c] for c in key_columns],
+                    residual=residual + leftovers + pushed_extra)
+                return
+        if eq_pairs:
+            entry.join = HashJoinChoice(
+                left_exprs=[e for _, e in eq_pairs],
+                right_columns=[c for c, _ in eq_pairs],
+                residual=residual)
+            return
+        entry.join = NestedJoinChoice(residual=residual)

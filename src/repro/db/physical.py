@@ -1,0 +1,554 @@
+"""Physical operators: the pull-based execution layer.
+
+This is the bottom of the three-layer query pipeline
+(:mod:`repro.db.logical` → :mod:`repro.db.optimizer` → here).  Each
+operator yields ``(values, label, ilabel)`` triples.  Query by Label is
+enforced at the bottom of the tree, in the scan operators, mirroring the
+paper's design decision (section 7.1): visibility — MVCC *and* label
+confinement — is decided "at the layer that reads and writes tuples in
+tables", so nothing a higher layer does can surface a tuple the process
+may not see.
+
+Label flow through operators:
+
+* scans emit the tuple's label (stripped of any enclosing declassifying
+  view's tags);
+* joins emit the union of the joined rows' labels;
+* aggregation emits the union of the group's labels;
+* projection/sort/limit pass labels through.
+
+Because scans filter to ``LT ⊆ LP``, every emitted label is covered by
+the process label — reading query results never contaminates the process
+(that is the point of Query by Label, section 4.2).
+
+Operators carry an optional ``explain`` attribute, a one-line summary
+attached by the planner during lowering and rendered by ``EXPLAIN``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.labels import EMPTY_LABEL, Label
+from ..core.rules import covers, strip
+from ..errors import AuthorityError
+from .catalog import ViewDef
+from .storage import Table
+
+ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
+
+
+class ExecContext:
+    """Per-execution state threaded through plan nodes and expressions."""
+
+    __slots__ = ("session", "params", "outer_stack", "read_label",
+                 "read_ilabel", "principal", "registry", "authority",
+                 "ifc_enabled")
+
+    def __init__(self, session, params: tuple, read_label: Label,
+                 read_ilabel: Label, principal: Optional[int]):
+        self.session = session
+        self.params = params
+        self.outer_stack: list = []
+        self.read_label = read_label
+        self.read_ilabel = read_ilabel
+        self.principal = principal
+        self.authority = session.db.authority
+        self.registry = self.authority.tags
+        self.ifc_enabled = session.db.ifc_enabled
+
+    def now(self) -> float:
+        return self.session.db.clock()
+
+
+class Plan:
+    """Base class: a pull-based operator producing ExecRows."""
+
+    #: One-line EXPLAIN annotation, attached by the planner at lowering.
+    explain: Optional[str] = None
+
+    def rows(self, ctx: ExecContext) -> Iterator[ExecRow]:
+        raise NotImplementedError
+
+
+class SingleRow(Plan):
+    """SELECT without FROM: one empty input row."""
+
+    def rows(self, ctx):
+        yield [], EMPTY_LABEL, EMPTY_LABEL
+
+
+class Scan(Plan):
+    """Label-filtered, MVCC-filtered scan of a base table.
+
+    ``declass`` is the union of tags declassified by enclosing
+    declassifying views; ``view_grants`` lists (view, tags) pairs whose
+    authority must be re-validated at execution time.  Emitted rows carry
+    the *stripped* label, and visibility requires the stripped label to
+    be covered by the process label — an invisible tuple stays invisible
+    no matter what the query looks like.
+    """
+
+    def __init__(self, table: Table, predicate: Optional[Callable],
+                 declass: Label, view_grants: List[Tuple[ViewDef, Label]]):
+        self.table = table
+        self.predicate = predicate
+        self.declass = declass
+        self.view_grants = view_grants
+
+    def _check_view_authority(self, ctx: ExecContext) -> None:
+        for view, tags in self.view_grants:
+            for tag_id in tags:
+                if not ctx.authority.has_authority(view.principal, tag_id):
+                    raise AuthorityError(
+                        "declassifying view %r lost authority for tag %d "
+                        "(revoked?)" % (view.name, tag_id))
+
+    def _candidates(self, ctx: ExecContext):
+        return self.table.all_versions()
+
+    def rows(self, ctx):
+        if ctx.ifc_enabled and self.view_grants:
+            self._check_view_authority(ctx)
+        session = ctx.session
+        txn = session.transaction
+        txn_manager = session.db.txn_manager
+        table = self.table
+        predicate = self.predicate
+        registry = ctx.registry
+        read_label = ctx.read_label
+        declass = self.declass
+        check_labels = ctx.ifc_enabled
+        for version in self._candidates(ctx):
+            table.touch(version)
+            if not txn_manager.visible(version, txn):
+                continue
+            if check_labels:
+                label = version.label
+                if declass:
+                    label = strip(registry, label, declass)
+                if not covers(registry, label, read_label):
+                    continue
+            else:
+                label = version.label
+            values = list(version.values)
+            values.append(label)
+            if predicate is not None:
+                if not predicate(values, ctx):
+                    continue
+            yield values, label, version.ilabel
+
+
+class IndexScan(Scan):
+    """Scan driven by an index lookup; key computed per execution."""
+
+    def __init__(self, table: Table, index, key_fns: List[Callable],
+                 predicate: Optional[Callable], declass: Label,
+                 view_grants: List[Tuple[ViewDef, Label]]):
+        super().__init__(table, predicate, declass, view_grants)
+        self.index = index
+        self.key_fns = key_fns
+
+    def _candidates(self, ctx):
+        key = tuple(fn([], ctx) for fn in self.key_fns)
+        if any(k is None for k in key):
+            return iter(())
+        return self.table.versions_for_tids(self.index.lookup(key))
+
+
+class Filter(Plan):
+    def __init__(self, child: Plan, predicate: Callable):
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, ctx):
+        predicate = self.predicate
+        for values, label, ilabel in self.child.rows(ctx):
+            if predicate(values, ctx):
+                yield values, label, ilabel
+
+
+class NestedLoopJoin(Plan):
+    """Generic join; materializes the right side once per execution."""
+
+    def __init__(self, left: Plan, right: Plan, kind: str,
+                 on: Optional[Callable], right_width: int):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.on = on
+        self.right_width = right_width
+
+    def rows(self, ctx):
+        right_rows = list(self.right.rows(ctx))
+        on = self.on
+        outer = self.kind == "left"
+        pad = [None] * self.right_width
+        for lvalues, llabel, lilabel in self.left.rows(ctx):
+            matched = False
+            for rvalues, rlabel, rilabel in right_rows:
+                combined = lvalues + rvalues
+                if on is not None and not on(combined, ctx):
+                    continue
+                matched = True
+                yield (combined, llabel.union(rlabel),
+                       lilabel.union(rilabel))
+            if outer and not matched:
+                yield lvalues + pad, llabel, lilabel
+
+
+class IndexLoopJoin(Plan):
+    """Join where the inner side is a base-table index lookup.
+
+    The key functions reference only left-side columns (checked at plan
+    time), so they are evaluated against the left row padded to full
+    width.  Residual ON conditions are applied to the combined row.
+    """
+
+    def __init__(self, left: Plan, table: Table, index,
+                 key_fns: List[Callable], residual: Optional[Callable],
+                 kind: str, declass: Label,
+                 view_grants: List[Tuple[ViewDef, Label]],
+                 right_width: int):
+        self.left = left
+        self.table = table
+        self.index = index
+        self.key_fns = key_fns
+        self.residual = residual
+        self.kind = kind
+        self.declass = declass
+        self.view_grants = view_grants
+        self.right_width = right_width
+
+    def rows(self, ctx):
+        if ctx.ifc_enabled and self.view_grants:
+            for view, tags in self.view_grants:
+                for tag_id in tags:
+                    if not ctx.authority.has_authority(view.principal, tag_id):
+                        raise AuthorityError(
+                            "declassifying view %r lost authority"
+                            % view.name)
+        session = ctx.session
+        txn = session.transaction
+        txn_manager = session.db.txn_manager
+        table = self.table
+        registry = ctx.registry
+        read_label = ctx.read_label
+        declass = self.declass
+        check_labels = ctx.ifc_enabled
+        residual = self.residual
+        outer = self.kind == "left"
+        pad = [None] * self.right_width
+        key_fns = self.key_fns
+        for lvalues, llabel, lilabel in self.left.rows(ctx):
+            probe = lvalues + pad
+            key = tuple(fn(probe, ctx) for fn in key_fns)
+            matched = False
+            if not any(k is None for k in key):
+                for version in table.versions_for_tids(
+                        self.index.lookup(key)):
+                    table.touch(version)
+                    if not txn_manager.visible(version, txn):
+                        continue
+                    label = version.label
+                    if check_labels:
+                        if declass:
+                            label = strip(registry, label, declass)
+                        if not covers(registry, label, read_label):
+                            continue
+                    rvalues = list(version.values)
+                    rvalues.append(label)
+                    combined = lvalues + rvalues
+                    if residual is not None and not residual(combined, ctx):
+                        continue
+                    matched = True
+                    yield (combined, llabel.union(label),
+                           lilabel.union(version.ilabel))
+            if outer and not matched:
+                yield lvalues + pad, llabel, lilabel
+
+
+class HashJoin(Plan):
+    """Equi-join: hash the right side, probe with left rows."""
+
+    def __init__(self, left: Plan, right: Plan, left_key_fns: List[Callable],
+                 right_key_fns: List[Callable], residual: Optional[Callable],
+                 kind: str, right_width: int, left_width: int):
+        self.left = left
+        self.right = right
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+        self.residual = residual
+        self.kind = kind
+        self.right_width = right_width
+        self.left_width = left_width
+
+    def rows(self, ctx):
+        buckets: Dict[tuple, list] = {}
+        pad_left = [None] * self.left_width
+        for rvalues, rlabel, rilabel in self.right.rows(ctx):
+            probe = pad_left + rvalues
+            key = tuple(fn(probe, ctx) for fn in self.right_key_fns)
+            if any(k is None for k in key):
+                continue
+            buckets.setdefault(key, []).append((rvalues, rlabel, rilabel))
+        residual = self.residual
+        outer = self.kind == "left"
+        pad = [None] * self.right_width
+        for lvalues, llabel, lilabel in self.left.rows(ctx):
+            probe = lvalues + pad
+            key = tuple(fn(probe, ctx) for fn in self.left_key_fns)
+            matched = False
+            if not any(k is None for k in key):
+                for rvalues, rlabel, rilabel in buckets.get(key, ()):
+                    combined = lvalues + rvalues
+                    if residual is not None and not residual(combined, ctx):
+                        continue
+                    matched = True
+                    yield (combined, llabel.union(rlabel),
+                           lilabel.union(rilabel))
+            if outer and not matched:
+                yield lvalues + pad, llabel, lilabel
+
+
+class AggSpec:
+    """One aggregate computation: function, argument, distinct flag."""
+
+    __slots__ = ("func", "arg_fn", "distinct")
+
+    def __init__(self, func: str, arg_fn: Optional[Callable], distinct: bool):
+        self.func = func
+        self.arg_fn = arg_fn
+        self.distinct = distinct
+
+
+class _AggState:
+    """Accumulator for one aggregate within one group."""
+
+    __slots__ = ("func", "distinct", "seen", "count", "total", "best")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.seen = set() if distinct else None
+        self.count = 0
+        self.total = None
+        self.best = None
+
+    def add(self, value) -> None:
+        if self.func == "COUNT" and value is _STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "MIN":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif self.func == "MAX":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self):
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        return self.best
+
+
+_STAR = object()
+
+
+class AggregateNode(Plan):
+    """GROUP BY + aggregate evaluation.
+
+    Output rows are ``group_key_values + aggregate_results``; downstream
+    expressions were rewritten by the planner to slot references.
+    """
+
+    def __init__(self, child: Plan, group_fns: List[Callable],
+                 specs: List[AggSpec], global_agg: bool):
+        self.child = child
+        self.group_fns = group_fns
+        self.specs = specs
+        self.global_agg = global_agg
+
+    def rows(self, ctx):
+        groups: Dict[tuple, list] = {}
+        labels: Dict[tuple, Label] = {}
+        ilabels: Dict[tuple, Label] = {}
+        order: List[tuple] = []
+        group_fns = self.group_fns
+        specs = self.specs
+        for values, label, ilabel in self.child.rows(ctx):
+            key = tuple(fn(values, ctx) for fn in group_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(s.func, s.distinct) for s in specs]
+                groups[key] = states
+                labels[key] = label
+                ilabels[key] = ilabel
+                order.append(key)
+            else:
+                labels[key] = labels[key].union(label)
+                ilabels[key] = ilabels[key].union(ilabel)
+            for spec, state in zip(specs, states):
+                if spec.arg_fn is None:
+                    state.add(_STAR)
+                else:
+                    state.add(spec.arg_fn(values, ctx))
+        if not groups and self.global_agg:
+            states = [_AggState(s.func, s.distinct) for s in specs]
+            yield ([] + [s.result() for s in states], EMPTY_LABEL,
+                   EMPTY_LABEL)
+            return
+        for key in order:
+            states = groups[key]
+            yield (list(key) + [s.result() for s in states], labels[key],
+                   ilabels[key])
+
+
+class Project(Plan):
+    def __init__(self, child: Plan, fns: List[Callable]):
+        self.child = child
+        self.fns = fns
+
+    def rows(self, ctx):
+        fns = self.fns
+        for values, label, ilabel in self.child.rows(ctx):
+            yield [fn(values, ctx) for fn in fns], label, ilabel
+
+
+class Sort(Plan):
+    """ORDER BY; NULLs sort last ascending, first descending."""
+
+    def __init__(self, child: Plan, key_fns: List[Callable],
+                 descending: List[bool]):
+        self.child = child
+        self.key_fns = key_fns
+        self.descending = descending
+
+    def rows(self, ctx):
+        rows = list(self.child.rows(ctx))
+        # Stable multi-key sort: apply keys from last to first.
+        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            def sort_key(row, fn=fn):
+                value = fn(row[0], ctx)
+                return (value is None, value)
+            rows.sort(key=sort_key, reverse=desc)
+        return iter(rows)
+
+
+class Distinct(Plan):
+    def __init__(self, child: Plan):
+        self.child = child
+
+    def rows(self, ctx):
+        seen = set()
+        for values, label, ilabel in self.child.rows(ctx):
+            key = tuple(values)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield values, label, ilabel
+
+
+class Limit(Plan):
+    def __init__(self, child: Plan, limit_fn: Optional[Callable],
+                 offset_fn: Optional[Callable]):
+        self.child = child
+        self.limit_fn = limit_fn
+        self.offset_fn = offset_fn
+
+    def rows(self, ctx):
+        limit = self.limit_fn([], ctx) if self.limit_fn else None
+        offset = self.offset_fn([], ctx) if self.offset_fn else 0
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(ctx):
+            if skipped < (offset or 0):
+                skipped += 1
+                continue
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield row
+
+
+class DeterministicOrder(Plan):
+    """Countermeasure for the tuple-allocation channel (section 7.3).
+
+    Orders rows by a deterministic function of their values so heap
+    placement cannot leak the relative order of modifications.  The
+    prototype leaves this off by default; the engine exposes it as the
+    ``deterministic_order`` flag.
+    """
+
+    def __init__(self, child: Plan):
+        self.child = child
+
+    def rows(self, ctx):
+        rows = list(self.child.rows(ctx))
+        rows.sort(key=lambda row: tuple(
+            (v is None, str(type(v).__name__), str(v)) for v in row[0]))
+        return iter(rows)
+
+
+class ViewPlan(Plan):
+    """Adapts a planned view/subquery: appends the row label as the
+    ``_label`` pseudo-column so outer scopes can reference it.
+
+    This is the label-stripping boundary of a declassifying view: the
+    inner plan's scans already emit stripped labels, so predicates the
+    optimizer keeps *above* this node observe post-declassification
+    labels.  The optimizer never pushes a predicate through it.
+    """
+
+    def __init__(self, inner: Plan):
+        self.inner = inner
+
+    def rows(self, ctx):
+        for values, label, ilabel in self.inner.rows(ctx):
+            yield values + [label], label, ilabel
+
+
+class PreparedSelect:
+    """A planned SELECT: the plan tree plus output column names."""
+
+    def __init__(self, plan: Plan, columns: List[str]):
+        self.plan = plan
+        self.columns = columns
+
+
+def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
+    """Render a physical plan tree as indented one-line operator summaries.
+
+    The text of each line is the operator's ``explain`` annotation
+    (attached by the planner during lowering) or the bare class name, so
+    the output always reflects the tree that ``rows()`` would execute.
+    """
+    line = "  " * indent + (plan.explain or type(plan).__name__)
+    lines = [line]
+    for child in _children(plan):
+        lines.extend(explain_plan(child, indent + 1))
+    return lines
+
+
+def _children(plan: Plan) -> List[Plan]:
+    if isinstance(plan, (NestedLoopJoin, HashJoin)):
+        return [plan.left, plan.right]
+    if isinstance(plan, IndexLoopJoin):
+        return [plan.left]
+    if isinstance(plan, ViewPlan):
+        return [plan.inner]
+    child = getattr(plan, "child", None)
+    return [child] if child is not None else []

@@ -1,788 +1,120 @@
-"""Query planning and execution.
+"""The planner facade: logical plan → optimizer → physical operators.
 
-The planner turns a parsed ``Select`` into a tree of plan nodes; each node
-yields ``(values, label, ilabel)`` triples.  Query by Label is enforced at
-the bottom of this tree, in the scan nodes, mirroring the paper's design
-decision (section 7.1): visibility — MVCC *and* label confinement — is
-decided "at the layer that reads and writes tuples in tables", so nothing
-a higher layer does can surface a tuple the process may not see.
+Planning a SELECT is a three-stage pipeline:
 
-Label flow through operators:
+1. :func:`repro.db.logical.build_logical` resolves the AST against the
+   catalog into a :class:`~repro.db.logical.LogicalQuery`;
+2. :class:`repro.db.optimizer.Optimizer` annotates it with access paths
+   (index vs heap scan), join strategies (index / hash / nested loop),
+   pushed-down predicates, and folded constants;
+3. this module *lowers* the annotated tree to the pull-based physical
+   operators of :mod:`repro.db.physical`, compiling expressions to
+   closures along the way, and attaches one-line ``explain``
+   annotations so ``EXPLAIN`` can print exactly the tree that executes.
 
-* scans emit the tuple's label (stripped of any enclosing declassifying
-  view's tags);
-* joins emit the union of the joined rows' labels;
-* aggregation emits the union of the group's labels;
-* projection/sort/limit pass labels through.
-
-Because scans filter to ``LT ⊆ LP``, every emitted label is covered by
-the process label — reading query results never contaminates the process
-(that is the point of Query by Label, section 4.2).
+Query by Label stays enforced in the physical scan operators (the
+paper's section 7.1 invariant): nothing in this pipeline can surface a
+tuple the process may not see, because the label check happens at the
+layer that reads tuples, below every optimization decision.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.labels import EMPTY_LABEL, Label
-from ..core.rules import covers, strip
-from ..errors import AuthorityError, CatalogError, DatabaseError
+from ..core.labels import EMPTY_LABEL
+from ..errors import DatabaseError
 from ..sql import ast
 from . import expressions as ex
-from .catalog import Catalog, ViewDef
-from .storage import Table
-
-ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
-
-
-class ExecContext:
-    """Per-execution state threaded through plan nodes and expressions."""
-
-    __slots__ = ("session", "params", "outer_stack", "read_label",
-                 "read_ilabel", "principal", "registry", "authority",
-                 "ifc_enabled")
-
-    def __init__(self, session, params: tuple, read_label: Label,
-                 read_ilabel: Label, principal: Optional[int]):
-        self.session = session
-        self.params = params
-        self.outer_stack: list = []
-        self.read_label = read_label
-        self.read_ilabel = read_ilabel
-        self.principal = principal
-        self.authority = session.db.authority
-        self.registry = self.authority.tags
-        self.ifc_enabled = session.db.ifc_enabled
-
-    def now(self) -> float:
-        return self.session.db.clock()
-
-
-# ---------------------------------------------------------------------------
-# Plan nodes
-# ---------------------------------------------------------------------------
-
-class Plan:
-    """Base class: a pull-based operator producing ExecRows."""
-
-    def rows(self, ctx: ExecContext) -> Iterator[ExecRow]:
-        raise NotImplementedError
-
-
-class SingleRow(Plan):
-    """SELECT without FROM: one empty input row."""
-
-    def rows(self, ctx):
-        yield [], EMPTY_LABEL, EMPTY_LABEL
-
-
-class Scan(Plan):
-    """Label-filtered, MVCC-filtered scan of a base table.
-
-    ``declass`` is the union of tags declassified by enclosing
-    declassifying views; ``view_grants`` lists (view, tags) pairs whose
-    authority must be re-validated at execution time.  Emitted rows carry
-    the *stripped* label, and visibility requires the stripped label to
-    be covered by the process label — an invisible tuple stays invisible
-    no matter what the query looks like.
-    """
-
-    def __init__(self, table: Table, predicate: Optional[Callable],
-                 declass: Label, view_grants: List[Tuple[ViewDef, Label]]):
-        self.table = table
-        self.predicate = predicate
-        self.declass = declass
-        self.view_grants = view_grants
-
-    def _check_view_authority(self, ctx: ExecContext) -> None:
-        for view, tags in self.view_grants:
-            for tag_id in tags:
-                if not ctx.authority.has_authority(view.principal, tag_id):
-                    raise AuthorityError(
-                        "declassifying view %r lost authority for tag %d "
-                        "(revoked?)" % (view.name, tag_id))
-
-    def _candidates(self, ctx: ExecContext):
-        return self.table.all_versions()
-
-    def rows(self, ctx):
-        if ctx.ifc_enabled and self.view_grants:
-            self._check_view_authority(ctx)
-        session = ctx.session
-        txn = session.transaction
-        txn_manager = session.db.txn_manager
-        table = self.table
-        predicate = self.predicate
-        registry = ctx.registry
-        read_label = ctx.read_label
-        declass = self.declass
-        check_labels = ctx.ifc_enabled
-        for version in self._candidates(ctx):
-            table.touch(version)
-            if not txn_manager.visible(version, txn):
-                continue
-            if check_labels:
-                label = version.label
-                if declass:
-                    label = strip(registry, label, declass)
-                if not covers(registry, label, read_label):
-                    continue
-            else:
-                label = version.label
-            values = list(version.values)
-            values.append(label)
-            if predicate is not None:
-                if not predicate(values, ctx):
-                    continue
-            yield values, label, version.ilabel
-
-
-class IndexScan(Scan):
-    """Scan driven by an index lookup; key computed per execution."""
-
-    def __init__(self, table: Table, index, key_fns: List[Callable],
-                 predicate: Optional[Callable], declass: Label,
-                 view_grants: List[Tuple[ViewDef, Label]]):
-        super().__init__(table, predicate, declass, view_grants)
-        self.index = index
-        self.key_fns = key_fns
-
-    def _candidates(self, ctx):
-        key = tuple(fn([], ctx) for fn in self.key_fns)
-        if any(k is None for k in key):
-            return iter(())
-        return self.table.versions_for_tids(self.index.lookup(key))
-
-
-class Filter(Plan):
-    def __init__(self, child: Plan, predicate: Callable):
-        self.child = child
-        self.predicate = predicate
-
-    def rows(self, ctx):
-        predicate = self.predicate
-        for values, label, ilabel in self.child.rows(ctx):
-            if predicate(values, ctx):
-                yield values, label, ilabel
-
-
-class NestedLoopJoin(Plan):
-    """Generic join; materializes the right side once per execution."""
-
-    def __init__(self, left: Plan, right: Plan, kind: str,
-                 on: Optional[Callable], right_width: int):
-        self.left = left
-        self.right = right
-        self.kind = kind
-        self.on = on
-        self.right_width = right_width
-
-    def rows(self, ctx):
-        right_rows = list(self.right.rows(ctx))
-        on = self.on
-        outer = self.kind == "left"
-        pad = [None] * self.right_width
-        for lvalues, llabel, lilabel in self.left.rows(ctx):
-            matched = False
-            for rvalues, rlabel, rilabel in right_rows:
-                combined = lvalues + rvalues
-                if on is not None and not on(combined, ctx):
-                    continue
-                matched = True
-                yield (combined, llabel.union(rlabel),
-                       lilabel.union(rilabel))
-            if outer and not matched:
-                yield lvalues + pad, llabel, lilabel
-
-
-class IndexLoopJoin(Plan):
-    """Join where the inner side is a base-table index lookup.
-
-    The key functions reference only left-side columns (checked at plan
-    time), so they are evaluated against the left row padded to full
-    width.  Residual ON conditions are applied to the combined row.
-    """
-
-    def __init__(self, left: Plan, table: Table, index,
-                 key_fns: List[Callable], residual: Optional[Callable],
-                 kind: str, declass: Label,
-                 view_grants: List[Tuple[ViewDef, Label]],
-                 right_width: int):
-        self.left = left
-        self.table = table
-        self.index = index
-        self.key_fns = key_fns
-        self.residual = residual
-        self.kind = kind
-        self.declass = declass
-        self.view_grants = view_grants
-        self.right_width = right_width
-
-    def rows(self, ctx):
-        if ctx.ifc_enabled and self.view_grants:
-            for view, tags in self.view_grants:
-                for tag_id in tags:
-                    if not ctx.authority.has_authority(view.principal, tag_id):
-                        raise AuthorityError(
-                            "declassifying view %r lost authority"
-                            % view.name)
-        session = ctx.session
-        txn = session.transaction
-        txn_manager = session.db.txn_manager
-        table = self.table
-        registry = ctx.registry
-        read_label = ctx.read_label
-        declass = self.declass
-        check_labels = ctx.ifc_enabled
-        residual = self.residual
-        outer = self.kind == "left"
-        pad = [None] * self.right_width
-        key_fns = self.key_fns
-        for lvalues, llabel, lilabel in self.left.rows(ctx):
-            probe = lvalues + pad
-            key = tuple(fn(probe, ctx) for fn in key_fns)
-            matched = False
-            if not any(k is None for k in key):
-                for version in table.versions_for_tids(
-                        self.index.lookup(key)):
-                    table.touch(version)
-                    if not txn_manager.visible(version, txn):
-                        continue
-                    label = version.label
-                    if check_labels:
-                        if declass:
-                            label = strip(registry, label, declass)
-                        if not covers(registry, label, read_label):
-                            continue
-                    rvalues = list(version.values)
-                    rvalues.append(label)
-                    combined = lvalues + rvalues
-                    if residual is not None and not residual(combined, ctx):
-                        continue
-                    matched = True
-                    yield (combined, llabel.union(label),
-                           lilabel.union(version.ilabel))
-            if outer and not matched:
-                yield lvalues + pad, llabel, lilabel
-
-
-class HashJoin(Plan):
-    """Equi-join: hash the right side, probe with left rows."""
-
-    def __init__(self, left: Plan, right: Plan, left_key_fns: List[Callable],
-                 right_key_fns: List[Callable], residual: Optional[Callable],
-                 kind: str, right_width: int, left_width: int):
-        self.left = left
-        self.right = right
-        self.left_key_fns = left_key_fns
-        self.right_key_fns = right_key_fns
-        self.residual = residual
-        self.kind = kind
-        self.right_width = right_width
-        self.left_width = left_width
-
-    def rows(self, ctx):
-        buckets: Dict[tuple, list] = {}
-        pad_left = [None] * self.left_width
-        for rvalues, rlabel, rilabel in self.right.rows(ctx):
-            probe = pad_left + rvalues
-            key = tuple(fn(probe, ctx) for fn in self.right_key_fns)
-            if any(k is None for k in key):
-                continue
-            buckets.setdefault(key, []).append((rvalues, rlabel, rilabel))
-        residual = self.residual
-        outer = self.kind == "left"
-        pad = [None] * self.right_width
-        for lvalues, llabel, lilabel in self.left.rows(ctx):
-            probe = lvalues + pad
-            key = tuple(fn(probe, ctx) for fn in self.left_key_fns)
-            matched = False
-            if not any(k is None for k in key):
-                for rvalues, rlabel, rilabel in buckets.get(key, ()):
-                    combined = lvalues + rvalues
-                    if residual is not None and not residual(combined, ctx):
-                        continue
-                    matched = True
-                    yield (combined, llabel.union(rlabel),
-                           lilabel.union(rilabel))
-            if outer and not matched:
-                yield lvalues + pad, llabel, lilabel
-
-
-class AggSpec:
-    """One aggregate computation: function, argument, distinct flag."""
-
-    __slots__ = ("func", "arg_fn", "distinct")
-
-    def __init__(self, func: str, arg_fn: Optional[Callable], distinct: bool):
-        self.func = func
-        self.arg_fn = arg_fn
-        self.distinct = distinct
-
-
-class _AggState:
-    """Accumulator for one aggregate within one group."""
-
-    __slots__ = ("func", "distinct", "seen", "count", "total", "best")
-
-    def __init__(self, func: str, distinct: bool):
-        self.func = func
-        self.distinct = distinct
-        self.seen = set() if distinct else None
-        self.count = 0
-        self.total = None
-        self.best = None
-
-    def add(self, value) -> None:
-        if self.func == "COUNT" and value is _STAR:
-            self.count += 1
-            return
-        if value is None:
-            return
-        if self.distinct:
-            if value in self.seen:
-                return
-            self.seen.add(value)
-        self.count += 1
-        if self.func in ("SUM", "AVG"):
-            self.total = value if self.total is None else self.total + value
-        elif self.func == "MIN":
-            if self.best is None or value < self.best:
-                self.best = value
-        elif self.func == "MAX":
-            if self.best is None or value > self.best:
-                self.best = value
-
-    def result(self):
-        if self.func == "COUNT":
-            return self.count
-        if self.func == "SUM":
-            return self.total
-        if self.func == "AVG":
-            return None if self.count == 0 else self.total / self.count
-        return self.best
-
-
-_STAR = object()
-
-
-class AggregateNode(Plan):
-    """GROUP BY + aggregate evaluation.
-
-    Output rows are ``group_key_values + aggregate_results``; downstream
-    expressions were rewritten by the planner to slot references.
-    """
-
-    def __init__(self, child: Plan, group_fns: List[Callable],
-                 specs: List[AggSpec], global_agg: bool):
-        self.child = child
-        self.group_fns = group_fns
-        self.specs = specs
-        self.global_agg = global_agg
-
-    def rows(self, ctx):
-        groups: Dict[tuple, list] = {}
-        labels: Dict[tuple, Label] = {}
-        ilabels: Dict[tuple, Label] = {}
-        order: List[tuple] = []
-        group_fns = self.group_fns
-        specs = self.specs
-        for values, label, ilabel in self.child.rows(ctx):
-            key = tuple(fn(values, ctx) for fn in group_fns)
-            states = groups.get(key)
-            if states is None:
-                states = [_AggState(s.func, s.distinct) for s in specs]
-                groups[key] = states
-                labels[key] = label
-                ilabels[key] = ilabel
-                order.append(key)
-            else:
-                labels[key] = labels[key].union(label)
-                ilabels[key] = ilabels[key].union(ilabel)
-            for spec, state in zip(specs, states):
-                if spec.arg_fn is None:
-                    state.add(_STAR)
-                else:
-                    state.add(spec.arg_fn(values, ctx))
-        if not groups and self.global_agg:
-            states = [_AggState(s.func, s.distinct) for s in specs]
-            yield ([] + [s.result() for s in states], EMPTY_LABEL,
-                   EMPTY_LABEL)
-            return
-        for key in order:
-            states = groups[key]
-            yield (list(key) + [s.result() for s in states], labels[key],
-                   ilabels[key])
-
-
-class Project(Plan):
-    def __init__(self, child: Plan, fns: List[Callable]):
-        self.child = child
-        self.fns = fns
-
-    def rows(self, ctx):
-        fns = self.fns
-        for values, label, ilabel in self.child.rows(ctx):
-            yield [fn(values, ctx) for fn in fns], label, ilabel
-
-
-class Sort(Plan):
-    """ORDER BY; NULLs sort last ascending, first descending."""
-
-    def __init__(self, child: Plan, key_fns: List[Callable],
-                 descending: List[bool]):
-        self.child = child
-        self.key_fns = key_fns
-        self.descending = descending
-
-    def rows(self, ctx):
-        rows = list(self.child.rows(ctx))
-        # Stable multi-key sort: apply keys from last to first.
-        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
-            def sort_key(row, fn=fn):
-                value = fn(row[0], ctx)
-                return (value is None, value)
-            rows.sort(key=sort_key, reverse=desc)
-        return iter(rows)
-
-
-class Distinct(Plan):
-    def __init__(self, child: Plan):
-        self.child = child
-
-    def rows(self, ctx):
-        seen = set()
-        for values, label, ilabel in self.child.rows(ctx):
-            key = tuple(values)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield values, label, ilabel
-
-
-class Limit(Plan):
-    def __init__(self, child: Plan, limit_fn: Optional[Callable],
-                 offset_fn: Optional[Callable]):
-        self.child = child
-        self.limit_fn = limit_fn
-        self.offset_fn = offset_fn
-
-    def rows(self, ctx):
-        limit = self.limit_fn([], ctx) if self.limit_fn else None
-        offset = self.offset_fn([], ctx) if self.offset_fn else 0
-        produced = 0
-        skipped = 0
-        for row in self.child.rows(ctx):
-            if skipped < (offset or 0):
-                skipped += 1
-                continue
-            if limit is not None and produced >= limit:
-                return
-            produced += 1
-            yield row
-
-
-class DeterministicOrder(Plan):
-    """Countermeasure for the tuple-allocation channel (section 7.3).
-
-    Orders rows by a deterministic function of their values so heap
-    placement cannot leak the relative order of modifications.  The
-    prototype leaves this off by default; the engine exposes it as the
-    ``deterministic_order`` flag.
-    """
-
-    def __init__(self, child: Plan):
-        self.child = child
-
-    def rows(self, ctx):
-        rows = list(self.child.rows(ctx))
-        rows.sort(key=lambda row: tuple(
-            (v is None, str(type(v).__name__), str(v)) for v in row[0]))
-        return iter(rows)
-
-
-# ---------------------------------------------------------------------------
-# Prepared select
-# ---------------------------------------------------------------------------
-
-class PreparedSelect:
-    """A planned SELECT: the plan tree plus output column names."""
-
-    def __init__(self, plan: Plan, columns: List[str]):
-        self.plan = plan
-        self.columns = columns
-
-
-# ---------------------------------------------------------------------------
-# Planner
-# ---------------------------------------------------------------------------
-
-def _collect_columns(node: ex.Expr, out: List[ex.ColumnRef],
-                     opaque: List[bool]) -> None:
-    """Collect column references; mark opaque if subqueries are present."""
-    if isinstance(node, ex.ColumnRef):
-        out.append(node)
-        return
-    if isinstance(node, (ex.Exists, ex.InSelect, ex.ScalarSelect)):
-        opaque[0] = True
-        if isinstance(node, ex.InSelect):
-            _collect_columns(node.operand, out, opaque)
-        return
-    for attr in getattr(node, "__slots__", ()):
-        child = getattr(node, attr)
-        if isinstance(child, ex.Expr):
-            _collect_columns(child, out, opaque)
-        elif isinstance(child, tuple):
-            for item in child:
-                if isinstance(item, ex.Expr):
-                    _collect_columns(item, out, opaque)
-                elif isinstance(item, tuple) and len(item) == 2:
-                    for x in item:
-                        if isinstance(x, ex.Expr):
-                            _collect_columns(x, out, opaque)
-
-
-def _split_conjuncts(node: Optional[ex.Expr]) -> List[ex.Expr]:
-    if node is None:
-        return []
-    if isinstance(node, ex.And):
-        result = []
-        for item in node.items:
-            result.extend(_split_conjuncts(item))
-        return result
-    return [node]
-
-
-class _FromEntry:
-    """Planner bookkeeping for one FROM item."""
-
-    __slots__ = ("alias", "plan", "width", "columns", "local_scope",
-                 "table", "declass", "view_grants", "join_kind", "join_on")
-
-    def __init__(self):
-        self.table = None
-        self.declass = EMPTY_LABEL
-        self.view_grants = []
-        self.join_kind = "inner"
-        self.join_on = None
+from .catalog import Catalog
+from .logical import LogicalQuery, SourceEntry, build_logical
+from .optimizer import (
+    FullScanAccess,
+    HashJoinChoice,
+    IndexEqAccess,
+    IndexJoinChoice,
+    Optimizer,
+)
+from .physical import (
+    AggregateNode,
+    AggSpec,
+    DeterministicOrder,
+    Distinct,
+    ExecContext,
+    ExecRow,
+    Filter,
+    HashJoin,
+    IndexLoopJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    Plan,
+    PreparedSelect,
+    Project,
+    Scan,
+    SingleRow,
+    Sort,
+    ViewPlan,
+    explain_plan,
+)
+
+__all__ = [
+    "AggregateNode", "AggSpec", "DeterministicOrder", "Distinct",
+    "ExecContext", "ExecRow", "Filter", "HashJoin", "IndexLoopJoin",
+    "IndexScan", "Limit", "NestedLoopJoin", "Plan", "Planner",
+    "PreparedSelect", "Project", "Scan", "SingleRow", "Sort", "ViewPlan",
+    "explain_plan",
+]
 
 
 class Planner:
-    """Plans SELECT/UPDATE/DELETE against the current catalog."""
+    """Plans SELECTs against the current catalog via the three layers."""
 
     def __init__(self, catalog: Catalog, registry):
         self.catalog = catalog
         self.registry = registry
+        self.optimizer = Optimizer(catalog)
 
-    # -- public entry points -------------------------------------------------
+    # -- public entry points ----------------------------------------------
     def plan_select(self, select: ast.Select,
                     outer_scope: Optional[ex.Scope] = None) -> PreparedSelect:
-        return self._plan_select(select, outer_scope, EMPTY_LABEL, [])
+        query = build_logical(select, self.catalog, outer_scope,
+                              EMPTY_LABEL, [])
+        self.optimizer.optimize(query)
+        return self._lower(query)
 
     def compiler(self, scope: ex.Scope) -> ex.ExprCompiler:
         return ex.ExprCompiler(scope, catalog=self.catalog, planner=self)
 
-    # -- FROM items -----------------------------------------------------------
-    def _flatten_from(self, items: List[ast.FromItem]) -> List[Tuple]:
-        """Flatten the FROM clause into a left-deep join sequence.
-
-        Returns [(item, kind, on_expr)]; the first entry's kind/on are
-        ignored.  Explicit JOIN trees are flattened left-to-right, which
-        is valid for inner and left joins in a left-deep evaluation.
-        """
-        sequence: List[Tuple] = []
-
-        def walk(item, kind="inner", on=None):
-            if isinstance(item, ast.Join):
-                walk(item.left, kind, on)
-                walk(item.right, item.kind, item.on)
-            else:
-                sequence.append((item, kind, on))
-
-        for index, item in enumerate(items):
-            walk(item, "inner", None)
-        return sequence
-
-    def _entry_for(self, item, declass_in: Label,
-                   grants_in: List) -> _FromEntry:
-        """Resolve one FROM item to a plannable entry (table/view/subquery)."""
-        entry = _FromEntry()
-        if isinstance(item, ast.TableRef):
-            name = item.name
-            if self.catalog.is_view(name):
-                view = self.catalog.get_view(name)
-                entry.alias = item.effective_alias
-                entry.columns = list(view.columns)
-                declass = declass_in
-                grants = list(grants_in)
-                if view.is_declassifying:
-                    declass = declass_in.union(view.declassify)
-                    grants = grants + [(view, view.declassify)]
-                inner = self._plan_select_core(view.select, None, declass,
-                                               grants)
-                entry.plan = _ViewPlan(inner.plan)
-                entry.width = len(view.columns) + 1
-                return entry
-            table = self.catalog.get_table(name)
-            entry.alias = item.effective_alias
-            entry.table = table
-            entry.columns = table.schema.column_names
-            entry.width = len(entry.columns) + 1
-            entry.declass = declass_in
-            entry.view_grants = list(grants_in)
-            entry.plan = None        # built later, after predicate pushdown
-            return entry
-        if isinstance(item, ast.SubqueryRef):
-            inner = self._plan_select_core(item.select, None, declass_in,
-                                           list(grants_in))
-            entry.alias = item.alias
-            entry.columns = list(inner.columns)
-            entry.plan = _ViewPlan(inner.plan)
-            entry.width = len(entry.columns) + 1
-            return entry
-        raise DatabaseError("unsupported FROM item %r" % (item,))
-
-    # -- core select planning ---------------------------------------------
-    def _plan_select(self, select, outer_scope, declass, grants):
-        return self._plan_select_core(select, outer_scope, declass, grants)
-
-    def _plan_select_core(self, select: ast.Select,
-                          outer_scope: Optional[ex.Scope],
-                          declass: Label, grants: List) -> PreparedSelect:
-        if not select.from_items:
-            return self._plan_no_from(select, outer_scope)
-
-        sequence = self._flatten_from(select.from_items)
-        entries: List[_FromEntry] = []
-        scope = ex.Scope(outer=outer_scope)
-        for item, kind, on in sequence:
-            entry = self._entry_for(item, declass, grants)
-            entry.join_kind = kind
-            entry.join_on = on
-            if any(e.alias == entry.alias for e in entries):
-                raise CatalogError("duplicate table alias %r" % entry.alias)
-            entries.append(entry)
-            scope.add_table(entry.alias, entry.columns)
-
+    # -- lowering: annotated logical tree → physical operators ------------
+    def _lower(self, query: LogicalQuery) -> PreparedSelect:
+        scope = query.scope
         compiler = self.compiler(scope)
+        if not query.entries:
+            plan: Plan = SingleRow()
+            for conjunct in query.residual_where:
+                plan = self._filter(plan, conjunct, compiler)
+            return self._finish_select(query, plan, compiler)
 
-        # Classify WHERE conjuncts by which FROM entries they touch.
-        conjuncts = _split_conjuncts(select.where)
-        entry_index = {e.alias: i for i, e in enumerate(entries)}
-        pushed: List[List[ex.Expr]] = [[] for _ in entries]
-        join_extra: List[List[ex.Expr]] = [[] for _ in entries]
-        residual_where: List[ex.Expr] = []
-        for conjunct in conjuncts:
-            refs: List[ex.ColumnRef] = []
-            opaque = [False]
-            _collect_columns(conjunct, refs, opaque)
-            touched = set()
-            local_only = True
-            for ref in refs:
-                depth, index = scope.resolve_depth(ref.name, ref.table)
-                if depth > 0:
-                    local_only = False
-                    continue
-                alias = scope.entries[index][0]
-                touched.add(entry_index[alias])
-            if opaque[0] or not local_only:
-                residual_where.append(conjunct)
-            elif len(touched) == 1:
-                target = touched.pop()
-                # Cannot push below a LEFT JOIN's nullable side.
-                if entries[target].join_kind == "left":
-                    residual_where.append(conjunct)
-                else:
-                    pushed[target].append(conjunct)
-            elif touched:
-                latest = max(touched)
-                join_extra[latest].append(conjunct)
-            else:
-                residual_where.append(conjunct)
-
-        # Build the base plan for entry 0.
-        plan = self._build_entry_plan(entries[0], pushed[0], scope, compiler)
-        left_width = entries[0].width
-
-        # Join the remaining entries left-deep.
-        for i in range(1, len(entries)):
-            entry = entries[i]
-            on_conjuncts = _split_conjuncts(entry.join_on)
-            if entry.join_kind == "inner":
-                on_conjuncts = on_conjuncts + join_extra[i]
-            plan = self._build_join(plan, left_width, entries, i,
-                                    on_conjuncts, pushed[i], scope, compiler)
+        plan = self._lower_entry(query.entries[0], scope)
+        left_width = query.entries[0].width
+        for i in range(1, len(query.entries)):
+            entry = query.entries[i]
+            plan = self._lower_join(plan, left_width, entry, scope, compiler)
             left_width += entry.width
-            if entry.join_kind == "left" and join_extra[i]:
-                # Multi-table WHERE conjuncts touching a left join's right
-                # side must filter *after* the join.
-                for conjunct in join_extra[i]:
-                    plan = Filter(plan, compiler.compile(conjunct))
+            for conjunct in entry.post_filters:
+                plan = self._filter(plan, conjunct, compiler)
+        for conjunct in query.residual_where:
+            plan = self._filter(plan, conjunct, compiler)
+        return self._finish_select(query, plan, compiler)
 
-        for conjunct in residual_where:
-            plan = Filter(plan, compiler.compile(conjunct))
+    def _filter(self, child: Plan, conjunct: ex.Expr,
+                compiler: ex.ExprCompiler) -> Plan:
+        plan = Filter(child, compiler.compile(conjunct))
+        plan.explain = "Filter (%s)" % ex.to_sql(conjunct)
+        return plan
 
-        return self._finish_select(select, plan, scope, compiler)
-
-    def _plan_no_from(self, select: ast.Select,
-                      outer_scope) -> PreparedSelect:
-        scope = ex.Scope(outer=outer_scope)
-        compiler = self.compiler(scope)
-        plan: Plan = SingleRow()
-        if select.where is not None:
-            plan = Filter(plan, compiler.compile(select.where))
-        return self._finish_select(select, plan, scope, compiler)
-
-    # -- scans and joins -------------------------------------------------
-    def _build_entry_plan(self, entry: _FromEntry, pushed: List[ex.Expr],
-                          scope_full: ex.Scope,
-                          compiler_full: ex.ExprCompiler) -> Plan:
-        if entry.plan is not None:       # view or subquery, already planned
-            plan = entry.plan
-            if pushed:
-                local_scope, local_compiler = self._local_compiler(entry,
-                                                                   scope_full)
-                for conjunct in pushed:
-                    plan = Filter(plan, local_compiler.compile(conjunct))
-            return plan
-        # Base table: try to turn pushed equality conjuncts into an index
-        # scan.
-        local_scope, local_compiler = self._local_compiler(entry, scope_full)
-        table = entry.table
-        eq_cols: Dict[str, ex.Expr] = {}
-        rest: List[ex.Expr] = []
-        for conjunct in pushed:
-            col, value = self._constant_equality(conjunct, entry.alias,
-                                                 local_scope)
-            if col is not None and col not in eq_cols:
-                eq_cols[col] = value
-            else:
-                rest.append(conjunct)
-        index = None
-        n_keys = 0
-        if eq_cols:
-            index, n_keys = self._best_index(table, set(eq_cols))
-        if index is not None:
-            key_columns = index.columns[:n_keys]
-            covered = set(key_columns)
-            key_fns = [local_compiler.compile(eq_cols[c])
-                       for c in key_columns]
-            residual = [c for c in pushed
-                        if not self._covered_by(c, covered, entry.alias,
-                                                local_scope, eq_cols)]
-            predicate = self._conjunction(residual, local_compiler)
-            return IndexScan(table, index, key_fns, predicate,
-                             entry.declass, entry.view_grants)
-        predicate = self._conjunction(pushed, local_compiler)
-        return Scan(table, predicate, entry.declass, entry.view_grants)
-
-    def _covered_by(self, conjunct, covered_cols, alias, local_scope,
-                    eq_cols) -> bool:
-        col, value = self._constant_equality(conjunct, alias, local_scope)
-        return (col is not None and col in covered_cols
-                and eq_cols.get(col) is value)
-
-    def _local_compiler(self, entry: _FromEntry, scope_full: ex.Scope):
+    def _local_compiler(self, entry: SourceEntry, scope_full: ex.Scope):
         local_scope = ex.Scope(outer=scope_full.outer)
         local_scope.add_table(entry.alias, entry.columns)
         return local_scope, self.compiler(local_scope)
@@ -795,197 +127,101 @@ class Planner:
             return compiler.compile(conjuncts[0])
         return compiler.compile(ex.And(conjuncts))
 
-    def _constant_equality(self, conjunct, alias, local_scope):
-        """Match ``col = constant-expr`` where the expr has no local
-        column references.  Returns (column_name, value_expr) or (None,
-        None)."""
-        if not isinstance(conjunct, ex.Compare) or conjunct.op != "=":
-            return None, None
-        for col_side, val_side in ((conjunct.left, conjunct.right),
-                                   (conjunct.right, conjunct.left)):
-            if not isinstance(col_side, ex.ColumnRef):
-                continue
-            if col_side.name == "_label":
-                continue
-            if col_side.table is not None and col_side.table != alias:
-                continue
-            try:
-                local_scope.resolve(col_side.name, col_side.table)
-            except CatalogError:
-                continue
-            refs: List[ex.ColumnRef] = []
-            opaque = [False]
-            _collect_columns(val_side, refs, opaque)
-            if opaque[0]:
-                continue
-            local = False
-            for ref in refs:
-                try:
-                    depth, _ = local_scope.resolve_depth(ref.name, ref.table)
-                except CatalogError:
-                    local = True   # unresolvable: play safe, don't push
-                    break
-                if depth == 0:
-                    local = True
-                    break
-            if not local:
-                return col_side.name, val_side
-        return None, None
+    @staticmethod
+    def _relation(entry: SourceEntry) -> str:
+        name = entry.relation_name or entry.alias
+        if entry.alias != name:
+            return "%s (%s)" % (name, entry.alias)
+        return name
 
-    def _best_index(self, table: Table, available: set):
-        """Pick the best index for equality predicates on ``available``.
-
-        Returns ``(index, n_key_columns)``.  A hash index needs every
-        column covered; an ordered index can be probed on any covered
-        *prefix* of its columns (B-tree-style).
-        """
-        from .indexes import OrderedIndex
-        best = None
-        best_len = 0
-        for index in table.indexes.values():
-            cols = index.columns
-            if set(cols) <= available and len(cols) > best_len:
-                best = index
-                best_len = len(cols)
-        if best is not None:
-            return best, best_len
-        for index in table.indexes.values():
-            if not isinstance(index, OrderedIndex):
-                continue
-            n = 0
-            for col in index.columns:
-                if col in available:
-                    n += 1
-                else:
-                    break
-            if n > best_len:
-                best = index
-                best_len = n
-        return best, best_len
-
-    def _build_join(self, left: Plan, left_width: int,
-                    entries: List[_FromEntry], i: int,
-                    on_conjuncts: List[ex.Expr], pushed: List[ex.Expr],
-                    scope: ex.Scope, compiler: ex.ExprCompiler) -> Plan:
-        entry = entries[i]
-        kind = entry.join_kind
-        left_aliases = {e.alias for e in entries[:i]}
-
-        # Find equi-join conditions: right.col = expr(left side only).
-        eq_pairs: List[Tuple[str, ex.Expr]] = []   # (right col, left expr)
-        residual: List[ex.Expr] = []
-        for conjunct in on_conjuncts:
-            pair = self._equi_pair(conjunct, entry, left_aliases, scope)
-            if pair is not None:
-                eq_pairs.append(pair)
-            else:
-                residual.append(conjunct)
-
-        residual_fn = self._conjunction(residual, compiler)
-
-        if entry.table is not None and eq_pairs and kind in ("inner", "left"):
-            index, n_keys = self._best_index(entry.table,
-                                             {c for c, _ in eq_pairs})
-            if index is not None:
-                key_columns = index.columns[:n_keys]
-                by_col = dict(eq_pairs)
-                key_fns = [compiler.compile(by_col[c])
-                           for c in key_columns]
-                # Conditions on indexed cols already consumed; the rest
-                # (including pushed single-table predicates) become
-                # residual on the combined row.
-                leftovers = [ex.Compare("=",
-                                        ex.ColumnRef(c, entry.alias),
-                                        by_col[c])
-                             for c, _ in eq_pairs
-                             if c not in key_columns]
-                extra = leftovers + (pushed if kind == "inner" else [])
-                if kind == "left" and pushed:
-                    raise DatabaseError(
-                        "internal: predicates pushed below a left join")
-                full_residual = self._conjunction(residual + extra, compiler)
-                return IndexLoopJoin(left, entry.table, index, key_fns,
-                                     full_residual, kind, entry.declass,
-                                     entry.view_grants, entry.width)
-
-        right_plan = self._build_entry_plan(entry, pushed, scope, compiler)
-        if eq_pairs:
-            left_key_fns = [compiler.compile(e) for _, e in eq_pairs]
-            right_key_fns = [compiler.compile(ex.ColumnRef(c, entry.alias))
-                             for c, _ in eq_pairs]
-            return HashJoin(left, right_plan, left_key_fns, right_key_fns,
-                            residual_fn, kind, entry.width, left_width)
-        return NestedLoopJoin(left, right_plan, kind, residual_fn,
-                              entry.width)
-
-    def _equi_pair(self, conjunct, entry: _FromEntry, left_aliases: set,
-                   scope: ex.Scope):
-        """Match ``right.col = expr(left)`` (either side order)."""
-        if not isinstance(conjunct, ex.Compare) or conjunct.op != "=":
-            return None
-        for col_side, other in ((conjunct.left, conjunct.right),
-                                (conjunct.right, conjunct.left)):
-            if not isinstance(col_side, ex.ColumnRef):
-                continue
-            if col_side.name == "_label":
-                continue
-            # The column must belong to the right entry.
-            try:
-                depth, index = scope.resolve_depth(col_side.name,
-                                                   col_side.table)
-            except CatalogError:
-                continue
-            if depth != 0 or scope.entries[index][0] != entry.alias:
-                continue
-            # The other side must reference only left-side aliases (or
-            # outer scopes / params / literals).
-            refs: List[ex.ColumnRef] = []
-            opaque = [False]
-            _collect_columns(other, refs, opaque)
-            if opaque[0]:
-                continue
-            ok = True
-            for ref in refs:
-                depth_r, index_r = scope.resolve_depth(ref.name, ref.table)
-                if depth_r == 0 and scope.entries[index_r][0] not in \
-                        left_aliases:
-                    ok = False
-                    break
-            if ok:
-                return (col_side.name, other)
-        return None
-
-    # -- select list, grouping, ordering ------------------------------------
-    def _expand_items(self, select: ast.Select,
-                      scope: ex.Scope) -> List[Tuple[ex.Expr, str]]:
-        """Expand ``*`` and name the output columns."""
-        items: List[Tuple[ex.Expr, str]] = []
-        for item in select.items:
-            if isinstance(item.expr, ex.Star):
-                positions = scope.star_positions(item.expr.table)
-                names = scope.star_names(item.expr.table)
-                for pos, name in zip(positions, names):
-                    items.append((ex.SlotRef(pos), name))
-            else:
-                name = item.alias or self._default_name(item.expr)
-                items.append((item.expr, name))
-        return items
+    def _lower_entry(self, entry: SourceEntry, scope_full: ex.Scope) -> Plan:
+        _local_scope, local_compiler = self._local_compiler(entry, scope_full)
+        if entry.derived is not None:
+            self.optimizer.optimize(entry.derived)
+            inner = self._lower(entry.derived)
+            plan: Plan = ViewPlan(inner.plan)
+            plan.explain = ("View %s" if entry.relation_name
+                            else "Subquery %s") % self._relation(entry)
+            # Predicates stay above the label-stripping boundary: they
+            # see the view's output (stripped) labels, never the inner
+            # tuples' raw labels.
+            for conjunct in entry.pushed:
+                plan = self._filter(plan, conjunct, local_compiler)
+            return plan
+        access = entry.access
+        if isinstance(access, IndexEqAccess):
+            key_fns = [local_compiler.compile(e) for e in access.key_exprs]
+            predicate = self._conjunction(access.residual, local_compiler)
+            plan = IndexScan(entry.table, access.index, key_fns, predicate,
+                             entry.declass, entry.view_grants)
+            plan.explain = "IndexScan %s using %s (%s)%s" % (
+                self._relation(entry), access.index.name,
+                self._key_text(access.key_columns, access.key_exprs),
+                self._filter_text(access.residual))
+            return plan
+        conjuncts = access.conjuncts if isinstance(access, FullScanAccess) \
+            else list(entry.pushed)
+        predicate = self._conjunction(conjuncts, local_compiler)
+        plan = Scan(entry.table, predicate, entry.declass, entry.view_grants)
+        plan.explain = "Scan %s%s" % (self._relation(entry),
+                                      self._filter_text(conjuncts))
+        return plan
 
     @staticmethod
-    def _default_name(expr: ex.Expr) -> str:
-        if isinstance(expr, ex.ColumnRef):
-            return expr.name
-        if isinstance(expr, ex.FuncCall):
-            return expr.name.lower()
-        if isinstance(expr, ex.Aggregate):
-            return expr.func.lower()
-        return "?column?"
+    def _key_text(key_columns, key_exprs) -> str:
+        return ", ".join("%s = %s" % (col, ex.to_sql(expr))
+                         for col, expr in zip(key_columns, key_exprs))
 
-    def _finish_select(self, select: ast.Select, plan: Plan,
-                       scope: ex.Scope,
+    @staticmethod
+    def _filter_text(conjuncts: List[ex.Expr]) -> str:
+        if not conjuncts:
+            return ""
+        return " filter (%s)" % " AND ".join(ex.to_sql(c)
+                                             for c in conjuncts)
+
+    def _lower_join(self, left: Plan, left_width: int, entry: SourceEntry,
+                    scope: ex.Scope, compiler: ex.ExprCompiler) -> Plan:
+        choice = entry.join
+        kind = entry.join_kind
+        if isinstance(choice, IndexJoinChoice):
+            key_fns = [compiler.compile(e) for e in choice.key_exprs]
+            residual = self._conjunction(choice.residual, compiler)
+            plan = IndexLoopJoin(left, entry.table, choice.index, key_fns,
+                                 residual, kind, entry.declass,
+                                 entry.view_grants, entry.width)
+            plan.explain = "IndexLoopJoin (%s) %s using %s (%s)%s" % (
+                kind, self._relation(entry), choice.index.name,
+                self._key_text(choice.key_columns, choice.key_exprs),
+                self._filter_text(choice.residual))
+            return plan
+        right_plan = self._lower_entry(entry, scope)
+        if isinstance(choice, HashJoinChoice):
+            left_key_fns = [compiler.compile(e) for e in choice.left_exprs]
+            right_key_fns = [compiler.compile(ex.ColumnRef(c, entry.alias))
+                             for c in choice.right_columns]
+            residual_fn = self._conjunction(choice.residual, compiler)
+            plan = HashJoin(left, right_plan, left_key_fns, right_key_fns,
+                            residual_fn, kind, entry.width, left_width)
+            plan.explain = "HashJoin (%s) on (%s)%s" % (
+                kind,
+                ", ".join("%s.%s = %s" % (entry.alias, col, ex.to_sql(e))
+                          for col, e in zip(choice.right_columns,
+                                            choice.left_exprs)),
+                self._filter_text(choice.residual))
+            return plan
+        residual_fn = self._conjunction(choice.residual, compiler)
+        plan = NestedLoopJoin(left, right_plan, kind, residual_fn,
+                              entry.width)
+        plan.explain = "NestedLoopJoin (%s)%s" % (
+            kind, self._filter_text(choice.residual))
+        return plan
+
+    # -- select list, grouping, ordering ----------------------------------
+    def _finish_select(self, query: LogicalQuery, plan: Plan,
                        compiler: ex.ExprCompiler) -> PreparedSelect:
-        items = self._expand_items(select, scope)
-        names = [name for _, name in items]
+        select = query.select
+        items = query.items
+        names = query.columns
         has_aggregates = (bool(select.group_by)
                           or any(ex.contains_aggregate(expr)
                                  for expr, _ in items)
@@ -994,13 +230,12 @@ class Planner:
 
         if has_aggregates:
             plan, post_compiler, rewrite_map = self._plan_aggregation(
-                select, plan, scope, compiler, items)
+                select, plan, compiler, items)
             out_fns = [post_compiler.compile(ex.rewrite(expr, rewrite_map))
                        for expr, _ in items]
             if select.having is not None:
-                having_fn = post_compiler.compile(
-                    ex.rewrite(select.having, rewrite_map))
-                plan = Filter(plan, having_fn)
+                having = ex.rewrite(select.having, rewrite_map)
+                plan = self._filter(plan, having, post_compiler)
             order_compiler = post_compiler
             order_rewrite = rewrite_map
         else:
@@ -1015,15 +250,23 @@ class Planner:
         if select.order_by:
             key_fns = []
             descending = []
+            order_texts = []
             for order_item in select.order_by:
                 expr = order_item.expr
                 resolved = self._resolve_order_expr(expr, items, names)
                 key_fns.append(order_compiler.compile(
                     ex.rewrite(resolved, order_rewrite)))
                 descending.append(order_item.descending)
-            plan = Sort(plan, key_fns, descending)
+                order_texts.append(ex.to_sql(resolved)
+                                   + (" DESC" if order_item.descending
+                                      else ""))
+            sort = Sort(plan, key_fns, descending)
+            sort.explain = "Sort [%s]" % ", ".join(order_texts)
+            plan = sort
 
-        plan = Project(plan, out_fns)
+        project = Project(plan, out_fns)
+        project.explain = "Project [%s]" % ", ".join(names)
+        plan = project
         if select.distinct:
             plan = Distinct(plan)
         if select.limit is not None or select.offset is not None:
@@ -1031,8 +274,15 @@ class Planner:
                         if select.limit is not None else None)
             offset_fn = (compiler.compile(select.offset)
                          if select.offset is not None else None)
-            plan = Limit(plan, limit_fn, offset_fn)
-        return PreparedSelect(plan, names)
+            limit = Limit(plan, limit_fn, offset_fn)
+            parts = []
+            if select.limit is not None:
+                parts.append("limit %s" % ex.to_sql(select.limit))
+            if select.offset is not None:
+                parts.append("offset %s" % ex.to_sql(select.offset))
+            limit.explain = "Limit (%s)" % ", ".join(parts)
+            plan = limit
+        return PreparedSelect(plan, list(names))
 
     def _resolve_order_expr(self, expr, items, names):
         if isinstance(expr, ex.Literal) and isinstance(expr.value, int):
@@ -1046,7 +296,7 @@ class Planner:
                 return items[names.index(expr.name)][0]
         return expr
 
-    def _plan_aggregation(self, select, plan, scope, compiler, items):
+    def _plan_aggregation(self, select, plan, compiler, items):
         group_exprs = list(select.group_by)
         aggregates: List[ex.Aggregate] = []
         for expr, _name in items:
@@ -1064,6 +314,10 @@ class Planner:
 
         node = AggregateNode(plan, group_fns, specs,
                              global_agg=not group_exprs)
+        node.explain = "Aggregate [%s]%s" % (
+            ", ".join(ex.to_sql(a) for a in aggregates),
+            " group by [%s]" % ", ".join(ex.to_sql(g) for g in group_exprs)
+            if group_exprs else "")
 
         # Post-aggregation rows: group values then aggregate results.
         rewrite_map: Dict[ex.Expr, ex.Expr] = {}
@@ -1072,18 +326,6 @@ class Planner:
         for slot, agg in enumerate(aggregates):
             rewrite_map[agg] = ex.SlotRef(len(group_exprs) + slot)
 
-        post_scope = ex.Scope(outer=scope.outer)
+        post_scope = ex.Scope(outer=compiler.scope.outer)
         post_compiler = self.compiler(post_scope)
         return node, post_compiler, rewrite_map
-
-
-class _ViewPlan(Plan):
-    """Adapts a planned view/subquery: appends the row label as the
-    ``_label`` pseudo-column so outer scopes can reference it."""
-
-    def __init__(self, inner: Plan):
-        self.inner = inner
-
-    def rows(self, ctx):
-        for values, label, ilabel in self.inner.rows(ctx):
-            yield values + [label], label, ilabel

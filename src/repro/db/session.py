@@ -33,7 +33,7 @@ from ..errors import (
 from ..sql import ast
 from . import constraints
 from .catalog import AFTER, BEFORE, DEFERRED, DELETE, INSERT, UPDATE
-from .planner import DeterministicOrder, ExecContext
+from .physical import DeterministicOrder, ExecContext
 from .triggers import ActingContext, ProcessActing, fire_triggers
 
 
@@ -242,7 +242,7 @@ class Session:
             return self._execute_select(statement, params, sql)
         if isinstance(statement, ast.Insert):
             with self._autocommit():
-                return self._execute_insert(statement, params)
+                return self._execute_insert(statement, params, sql)
         if isinstance(statement, ast.Update):
             with self._autocommit():
                 return self._execute_update(statement, params, sql)
@@ -263,8 +263,20 @@ class Session:
         if isinstance(statement, ast.Vacuum):
             self.db.vacuum(statement.table)
             return Result()
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement)
         # DDL is delegated to the engine.
         return self.db.execute_ddl(self, statement)
+
+    def _execute_explain(self, statement: ast.Explain) -> Result:
+        """EXPLAIN: render the plan the engine would execute, one
+        operator per row.  Nothing runs, so results carry empty labels;
+        the plan *shape* only reveals schema facts (indexes, views) the
+        catalog already exposes."""
+        lines = self.db.explain(statement.statement)
+        columns = {"QUERY PLAN": 0}
+        rows = [Row([line], columns, EMPTY_LABEL) for line in lines]
+        return Result(["QUERY PLAN"], rows, len(rows))
 
     def _context(self, params: Tuple) -> ExecContext:
         return ExecContext(self, params, self.label, self.ilabel,
@@ -285,45 +297,31 @@ class Session:
         return Result(list(prepared.columns), rows, len(rows))
 
     # -- INSERT -----------------------------------------------------------
-    def _execute_insert(self, statement: ast.Insert, params: Tuple) -> Result:
-        table = self.db.catalog.get_table(statement.table)
-        schema = table.schema
-        if statement.columns is not None:
-            for col in statement.columns:
-                schema.position(col)
-            target_cols = list(statement.columns)
-        else:
-            target_cols = schema.column_names
+    def _execute_insert(self, statement: ast.Insert, params: Tuple,
+                        sql: Optional[str] = None) -> Result:
+        prepared = self.db.prepare_insert(statement, sql)
+        table = prepared.table
+        positions = prepared.target_positions
         declassifying = self.db.resolve_tag_label(statement.declassifying)
         ctx = self._context(params)
 
         source_rows: Iterable[Sequence]
-        if statement.select is not None:
-            prepared = self.db.prepare_select(statement.select, None)
+        if prepared.select is not None:
             source_rows = [values for values, _l, _i
-                           in prepared.plan.rows(ctx)]
+                           in prepared.select.plan.rows(ctx)]
         else:
-            from .expressions import Scope
-            compiler = self.db.planner.compiler(Scope())
-            compiled = [[compiler.compile(e) for e in row]
-                        for row in statement.rows]
-            source_rows = [[fn([], ctx) for fn in row] for row in compiled]
+            source_rows = [[fn([], ctx) for fn in row]
+                           for row in prepared.row_fns]
 
         count = 0
         for source in source_rows:
-            if len(source) != len(target_cols):
+            if len(source) != len(positions):
                 raise DatabaseError(
                     "INSERT expects %d values, got %d"
-                    % (len(target_cols), len(source)))
-            by_name = dict(zip(target_cols, source))
-            full = []
-            for column in schema.columns:
-                if column.name in by_name:
-                    full.append(by_name[column.name])
-                elif column.has_default:
-                    full.append(column.default)
-                else:
-                    full.append(None)
+                    % (len(positions), len(source)))
+            full = list(prepared.defaults)
+            for position, value in zip(positions, source):
+                full[position] = value
             self.insert_row(table, tuple(full), declassifying, ctx)
             count += 1
         return Result(rowcount=count)

@@ -64,6 +64,15 @@ class Table:
         self.indexes[name] = index
         return index
 
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise CatalogError("index %r does not exist" % name)
+        if any(index.name == name for _u, index in self.unique_indexes):
+            raise CatalogError(
+                "index %r backs a unique constraint and cannot be dropped"
+                % name)
+        del self.indexes[name]
+
     def find_index(self, columns: Sequence[str],
                    *, prefix_ok: bool = False):
         """An index whose column list matches ``columns`` (or a prefix)."""

@@ -172,6 +172,11 @@ class DropView:
     name: str
 
 
+@dataclass
+class DropIndex:
+    name: str
+
+
 # ---------------------------------------------------------------------------
 # transactions & misc
 # ---------------------------------------------------------------------------
@@ -204,6 +209,13 @@ class Vacuum:
     table: Optional[str] = None
 
 
+@dataclass
+class Explain:
+    """EXPLAIN <statement> — render the plan instead of executing it."""
+
+    statement: "Statement"
+
+
 Statement = Union[Select, Insert, Update, Delete, CreateTable, CreateView,
-                  CreateIndex, DropTable, DropView, Begin, Commit, Rollback,
-                  Call, Vacuum]
+                  CreateIndex, DropTable, DropView, DropIndex, Begin, Commit,
+                  Rollback, Call, Vacuum, Explain]

@@ -10,7 +10,9 @@ applications and benchmarks exercise, plus IFDB's extensions:
 * ``REFERENCES t(c) MATCH LABEL`` / ``FOREIGN KEY ... MATCH LABEL`` —
   label constraints as foreign keys, section 5.2.4;
 * ``LABEL CHECK (expr)`` — expression label constraints over ``_label``;
-* the ``_label`` system column usable anywhere a column is.
+* the ``_label`` system column usable anywhere a column is;
+* ``EXPLAIN <statement>`` — returns the optimizer's plan (one operator
+  per row) instead of executing the statement.
 
 Tag names in DECLASSIFYING clauses may be identifiers or string
 literals (tags like ``'alice-drives'`` contain hyphens).
@@ -104,6 +106,8 @@ class Parser:
         return statements
 
     def _statement(self) -> ast.Statement:
+        if self.accept_keyword("EXPLAIN"):
+            return ast.Explain(self._statement())
         if self.at_keyword("SELECT"):
             return self._select()
         if self.at_keyword("INSERT"):
@@ -515,7 +519,9 @@ class Parser:
             return ast.DropTable(self.expect_ident(), if_exists)
         if self.accept_keyword("VIEW"):
             return ast.DropView(self.expect_ident())
-        self.error("expected TABLE or VIEW")
+        if self.accept_keyword("INDEX"):
+            return ast.DropIndex(self.expect_ident())
+        self.error("expected TABLE, VIEW, or INDEX")
 
     def _begin(self) -> ast.Begin:
         self.advance()

@@ -21,8 +21,14 @@ are *measured* from the real handler implementations by
 simulation comes from actually executing both systems' code, not from
 assumed constants.
 
-Everything runs in virtual time with a seeded RNG: results are exactly
-reproducible and independent of the host machine's load.
+Everything runs in virtual time with *per-worker* seeded RNGs: client
+``i`` draws its stagger, request types, and think times from its own
+``Random`` seeded by ``(seed, i)``.  Each client therefore replays an
+identical request sequence regardless of how the stations interleave
+events, so results are exactly reproducible, independent of the host
+machine's load, and — crucially for before/after engine comparisons —
+the offered workload does not shift when measured service demands
+change.
 """
 
 from __future__ import annotations
@@ -75,9 +81,13 @@ class ClosedLoopSimulator:
         self.seed = seed
         self.request_sampler = request_sampler or sample_request
 
+    def _client_rng(self, client: int) -> random.Random:
+        """The per-worker RNG: deterministic in (seed, client) only."""
+        return random.Random((self.seed << 20) ^ (client * 0x9E3779B1))
+
     def run(self, clients: int, duration: float,
             warmup_fraction: float = 0.2) -> SimResult:
-        rng = random.Random(self.seed)
+        rngs = [self._client_rng(client) for client in range(clients)]
         events: List[Tuple[float, int, str, tuple]] = []
         counter = 0
 
@@ -93,12 +103,12 @@ class ClosedLoopSimulator:
         # Each client starts with an initial stagger so the network does
         # not phase-lock.
         for client in range(clients):
-            push(rng.uniform(0, 5.0), "arrive", (client,))
+            push(rngs[client].uniform(0, 5.0), "arrive", (client,))
 
         warmup_end = duration * warmup_fraction
 
         def start_web(now: float, client: int, t0: float) -> None:
-            path = self.request_sampler(rng)
+            path = self.request_sampler(rngs[client])
             demand = self.demands[path]
             if web.busy < web.servers:
                 web.busy += 1
@@ -140,7 +150,8 @@ class ClosedLoopSimulator:
                          (queued[0], queued[1]))
                 if now >= warmup_end:
                     responses.append((now, now - t0))
-                push(now + sample_think_time(rng), "arrive", (client,))
+                push(now + sample_think_time(rngs[client]), "arrive",
+                     (client,))
 
         window = duration - warmup_end
         if not responses or window <= 0:

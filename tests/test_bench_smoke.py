@@ -1,0 +1,42 @@
+"""Smoke-run every Figure benchmark script so the perf suite cannot rot.
+
+Each ``benchmarks/bench_fig*.py`` is executed in a subprocess with
+``REPRO_BENCH_SMOKE=1`` (tiny row counts, fixed seeds, shape assertions
+off, no ``results.txt`` writes) and must exit cleanly.  This is a
+correctness gate, not a measurement: it proves the benchmark code still
+imports, builds its stacks, and runs its full code path against the
+current engine.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+SCRIPTS = sorted(os.path.basename(p)
+                 for p in glob.glob(os.path.join(BENCH_DIR, "bench_fig*.py")))
+
+
+def test_scripts_discovered():
+    assert len(SCRIPTS) >= 4, SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_bench_smoke(script):
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", os.path.join("benchmarks", script),
+         "-q", "--import-mode=importlib", "--benchmark-disable",
+         "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, \
+        "%s failed in smoke mode:\n%s\n%s" % (script, proc.stdout,
+                                              proc.stderr)
