@@ -8,11 +8,11 @@ and storing labels.  Expected shape: a single-digit-percent penalty.
 
 from repro.bench import ReportTable, measure_ingest_pair, relative
 
-from .common import report
+from .common import SMOKE, report, smoke
 
 PAPER_BASE = 2479.0
 PAPER_IFDB = 2439.0
-N_MEASUREMENTS = 3000
+N_MEASUREMENTS = smoke(3000, 300)
 
 
 def test_sensor_ingest_throughput(benchmark):
@@ -28,9 +28,11 @@ def test_sensor_ingest_throughput(benchmark):
     table.add("paper overhead", "-1.6%", "", "")
     report(table)
 
-    # Shape: IFDB within 15% of baseline (paper: 1.6%).
-    assert ifdb < base * 1.02            # labels are never free
-    assert ifdb > base * 0.85
+    # Shape: IFDB within 15% of baseline (paper: 1.6%).  Smoke mode
+    # runs a few hundred inserts — pure noise, so no shape claims.
+    if not SMOKE:
+        assert ifdb < base * 1.02        # labels are never free
+        assert ifdb > base * 0.85
 
     # pytest-benchmark: time one 200-insert batch on the IFDB stack.
     from repro.bench import build_cartel_stack

@@ -155,6 +155,9 @@ def build_cartel_stack(*, ifc_enabled: bool = True, n_users: int = 8,
     generator = TraceGenerator(car_ids, seed=seed)
     processor = SensorProcessor(app)
     processor.process_measurements(generator.measurements(measurements))
+    # Optimizer statistics over the populated tables (ANALYZE): the
+    # request handlers are then planned from real cardinalities.
+    db.analyze()
 
     tokens = [web.login(name, "pw-" + name) for name in usernames]
     return CarTelStack(db=db, runtime=runtime, app=app, web=web,

@@ -37,7 +37,7 @@ from .expressions import Scope, to_sql
 from .logical import split_conjuncts
 from .optimizer import best_index, constant_equality
 from .pages import BufferCache
-from .physical import PreparedSelect, explain_plan
+from .physical import PreparedSelect, explain_plan, plan_tables
 from .planner import Planner
 from .schema import (
     CheckConstraint,
@@ -48,6 +48,7 @@ from .schema import (
     UniqueConstraint,
 )
 from .session import Session
+from .stats import StatsManager
 from .storage import Table
 from .transactions import SNAPSHOT, TransactionManager
 from .types import type_by_name
@@ -151,16 +152,23 @@ class Database:
         self.txn_manager = TransactionManager()
         self.buffer_cache = BufferCache(capacity=buffer_pages,
                                         io_penalty=io_penalty)
-        self.planner = Planner(self.catalog, self.authority.tags)
+        self.stats_manager = StatsManager(self)
+        self.planner = Planner(self.catalog, self.authority.tags,
+                               stats=self.stats_manager)
         self._parse_cache: Dict[str, object] = {}
         # Prepared-plan caches, keyed by SQL text (or statement identity
-        # for programmatic statements).  The whole cache is versioned by
-        # ``plan_cache_epoch``: any DDL or tag-registry change clears it,
-        # which both invalidates stale plans and bounds growth.
-        self._select_cache: Dict[object, Tuple[object, PreparedSelect]] = {}
-        self._dml_cache: Dict[object, Tuple[object, PreparedDML]] = {}
-        self._insert_cache: Dict[object, Tuple[object, PreparedInsert]] = {}
+        # for programmatic statements); each entry is
+        # ``(statement, prepared, table_names)``.  The whole cache is
+        # versioned by ``plan_cache_epoch``: any DDL or tag-registry
+        # change clears it, which both invalidates stale plans and
+        # bounds growth.  Statistics refreshes are gentler: they evict
+        # only the entries whose ``table_names`` include the refreshed
+        # table (see ``invalidate_plans_for``).
+        self._select_cache: Dict[object, Tuple] = {}
+        self._dml_cache: Dict[object, Tuple] = {}
+        self._insert_cache: Dict[object, Tuple] = {}
         self._plan_epoch: Optional[Tuple[int, int]] = None
+        self._stats_probe = 0
         # Activity counters (read by benchmarks and tests).
         self.statements_executed = 0
         self.rows_inserted = 0
@@ -190,16 +198,25 @@ class Database:
     def parse_script(self, sql: str):
         return parse_script(sql)
 
+    #: Every this many plan-cache probes, sweep the analyzed tables for
+    #: modification drift and refresh their statistics (evicting only
+    #: the cached plans that touch them).
+    STATS_PROBE_INTERVAL = 256
+
     def plan_cache_epoch(self) -> Tuple[int, int]:
         """The versions the prepared-plan caches are keyed on.
 
         ``catalog.version`` bumps on every DDL statement — including
         ``CREATE/DROP INDEX`` and view changes — and ``tags.version``
         bumps on every tag-registry mutation (new tags, compound-tag
-        membership).  Declassifying-view *authority* is deliberately not
-        part of the epoch: cached plans re-validate the view principal's
-        authority on every execution, so revocation takes effect without
-        a replan.
+        membership).  Statistics refreshes are deliberately *not* part
+        of the epoch: new histograms change plan optimality, never plan
+        correctness, so a refresh evicts only the cached plans reading
+        the refreshed table (``invalidate_plans_for``) instead of
+        clearing everything.  Declassifying-view *authority* is also
+        not part of the epoch: cached plans re-validate the view
+        principal's authority on every execution, so revocation takes
+        effect without a replan.
         """
         return (self.catalog.version, self.authority.tags.version)
 
@@ -210,6 +227,24 @@ class Database:
             self._dml_cache.clear()
             self._insert_cache.clear()
             self._plan_epoch = epoch
+        self._stats_probe += 1
+        if self._stats_probe >= self.STATS_PROBE_INTERVAL:
+            self._stats_probe = 0
+            self.stats_manager.refresh_drifted()
+
+    def invalidate_plans_for(self, table_name: str) -> None:
+        """Evict cached plans that read ``table_name`` (stats refresh).
+
+        UPDATE/DELETE plans are left alone: ``_plan_dml`` picks its
+        access path from equality predicates and indexes only, never
+        from statistics, so replanning them after a refresh would
+        rebuild byte-identical plans.
+        """
+        for cache in (self._select_cache, self._insert_cache):
+            stale = [key for key, entry in cache.items()
+                     if table_name in entry[2]]
+            for key in stale:
+                del cache[key]
 
     def prepare_select(self, statement: ast.Select,
                        sql: Optional[str]) -> PreparedSelect:
@@ -221,7 +256,8 @@ class Database:
         if cached is not None and cached[0] is statement:
             return cached[1]
         prepared = self.planner.plan_select(statement)
-        self._select_cache[key] = (statement, prepared)
+        self._select_cache[key] = (statement, prepared,
+                                   plan_tables(prepared.plan))
         return prepared
 
     def prepare_dml(self, statement, sql: Optional[str]) -> PreparedDML:
@@ -231,7 +267,8 @@ class Database:
         if cached is not None and cached[0] is statement:
             return cached[1]
         prepared = self._plan_dml(statement)
-        self._dml_cache[key] = (statement, prepared)
+        self._dml_cache[key] = (statement, prepared,
+                                frozenset((statement.table,)))
         return prepared
 
     def prepare_insert(self, statement: ast.Insert,
@@ -242,7 +279,10 @@ class Database:
         if cached is not None and cached[0] is statement:
             return cached[1]
         prepared = self._plan_insert(statement)
-        self._insert_cache[key] = (statement, prepared)
+        tables = {statement.table}
+        if prepared.select is not None:
+            tables |= plan_tables(prepared.select.plan)
+        self._insert_cache[key] = (statement, prepared, frozenset(tables))
         return prepared
 
     def _plan_insert(self, statement: ast.Insert) -> PreparedInsert:
@@ -438,6 +478,7 @@ class Database:
                     self.catalog.relation_exists(statement.name):
                 return Result()
             self.catalog.drop_table(statement.name)
+            self.stats_manager.forget(statement.name)
             return Result()
         if isinstance(statement, ast.DropView):
             self.catalog.drop_view(statement.name)
@@ -538,6 +579,15 @@ class Database:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def analyze(self, table_name: Optional[str] = None) -> List[str]:
+        """Collect optimizer statistics (``ANALYZE [table]``).
+
+        Like vacuum, statistics collection reads the heap outside the
+        label rules (section 7.1 exempts maintenance); the numbers only
+        steer plan choice, never tuple visibility.
+        """
+        return self.stats_manager.analyze(table_name)
+
     def vacuum(self, table_name: Optional[str] = None) -> int:
         """Garbage-collect dead versions (exempt from label rules)."""
         if table_name is not None:
@@ -563,6 +613,7 @@ class Database:
             "buffer_misses": cache.misses,
             "buffer_hit_rate": cache.hit_rate,
             "simulated_io_time": cache.io_time,
+            "tables_analyzed": self.stats_manager.analyzed(),
             "polyinstantiated": {
                 t.name: t.polyinstantiation_count
                 for t in self.catalog.tables.values()

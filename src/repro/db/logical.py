@@ -90,6 +90,8 @@ class SourceEntry:
     access: Optional[object] = None              # AccessPath (base tables)
     join: Optional[object] = None                # JoinChoice (entries 1..n)
     post_filters: List[ex.Expr] = field(default_factory=list)
+    est_rows: Optional[float] = None             # after pushed predicates
+    est_cost: Optional[float] = None             # cost of producing them
 
 
 @dataclass
@@ -105,6 +107,8 @@ class LogicalQuery:
     # ---- optimizer annotations -------------------------------------
     residual_where: List[ex.Expr] = field(default_factory=list)
     optimized: bool = False
+    est_rows: Optional[float] = None             # estimated output rows
+    est_cost: Optional[float] = None             # estimated total cost
 
 
 def _flatten_from(items: List[ast.FromItem]) -> List[Tuple]:

@@ -1,12 +1,22 @@
-"""The rule-based optimizer: the middle of the three planner layers.
+"""The cost-based optimizer: the middle of the three planner layers.
 
 Takes a :class:`~repro.db.logical.LogicalQuery` and annotates it with
-execution strategy, applying four rule families in order:
+execution strategy, applying these rule families in order:
 
 1. **Constant folding** — literal-only subexpressions of WHERE and join
    conditions are evaluated at plan time (``1 = 1`` disappears from
    conjunct lists, ``2 + 3`` becomes ``5``).
-2. **Predicate pushdown** — each WHERE conjunct is classified by the
+2. **Join ordering** — for all-inner joins, ON and WHERE conjuncts merge
+   into one pool and the entries are greedily reordered by *estimated
+   filtered cardinality*: the smallest entry leads, and each next pick
+   prefers an entry equi-joinable to what is already placed (avoiding
+   cross products), smallest first.  Cardinalities come from the
+   :mod:`repro.db.stats` subsystem when the table was ``ANALYZE``\\ d and
+   from default selectivities over a cheap heap count otherwise.
+   Queries with LEFT JOINs keep their written order (reordering would
+   change NULL-extension semantics), and an unqualified ``*`` pins the
+   order too, because its output columns follow entry order.
+3. **Predicate pushdown** — each WHERE conjunct is classified by the
    FROM entries it references: single-entry conjuncts are pushed into
    that entry's scan, multi-entry conjuncts become extra join
    conditions on the latest entry they touch, and everything else
@@ -16,31 +26,58 @@ execution strategy, applying four rule families in order:
    declassifying view are evaluated above its label-stripping
    :class:`~repro.db.physical.ViewPlan` node, so they observe stripped
    labels only.
-3. **Access-path selection** — pushed equality conjuncts of the form
-   ``col = constant-expr`` are matched against the table's indexes; the
-   best covering index (full key for hash indexes, any key prefix for
-   ordered indexes) turns the scan into an index scan with the matched
-   conjuncts consumed by the key and the rest kept as a residual
-   predicate.
-4. **Join-strategy selection** — equi-join conditions (``right.col =
-   expr(left)``) drive an index-nested-loop join when the inner table
-   has a usable index, otherwise a hash join; joins with no equi-pairs
-   fall back to a nested-loop join.
+4. **Access-path selection** — for each base-table entry the optimizer
+   enumerates a full heap scan, the best equality-index probe
+   (``col = constant`` conjuncts against hash or ordered indexes), and
+   ordered-index **range scans** (an equality prefix plus ``<``, ``<=``,
+   ``>``, ``>=`` or ``BETWEEN`` bounds on the next index column, served
+   by :meth:`~repro.db.indexes.OrderedIndex.scan_range`), then picks
+   the cheapest by estimated cost.
+5. **Join-strategy selection** — equi-join conditions (``right.col =
+   expr(left)``) can be executed as an index-nested-loop join or a hash
+   join; the optimizer costs both (probe count × fan-out vs build +
+   probe) and picks the cheaper.  Joins with no equi-pairs fall back to
+   a nested-loop join.
 
-The annotations are plain data (``AccessPath``/``JoinChoice``); the
-lowering to physical operators lives in :mod:`repro.db.planner`.
+Every annotation carries estimated rows and cost (``est_rows`` /
+``est_cost``), which the planner copies onto the physical operators so
+``EXPLAIN`` can show them.  The annotations are plain data
+(``AccessPath``/``JoinChoice``); the lowering to physical operators
+lives in :mod:`repro.db.planner`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CatalogError, DatabaseError
 from . import expressions as ex
 from .logical import LogicalQuery, SourceEntry, collect_columns, \
     relayout, split_conjuncts
+from .stats import (
+    DEFAULT_DERIVED_ROWS,
+    DEFAULT_EQ_SEL,
+    DEFAULT_LIKE_SEL,
+    DEFAULT_RANGE_SEL,
+    DEFAULT_SEL,
+)
 from .storage import Table
+
+# ---------------------------------------------------------------------------
+# cost model constants
+# ---------------------------------------------------------------------------
+
+#: Cost of examining one heap row.
+COST_ROW = 1.0
+#: Fixed cost of one index lookup (bisection / hash probe).
+COST_PROBE = 1.2
+#: Cost of inserting one row into a hash-join build table.
+COST_BUILD_ROW = 1.5
+#: Tables are never costed below this many rows: a plan cached while a
+#: table is still empty must not lock in a full scan that a few inserts
+#: later would be wrong (inserts do not bump the plan-cache epoch).
+ROW_FLOOR = 10.0
 
 # ---------------------------------------------------------------------------
 # constant folding
@@ -169,6 +206,24 @@ class IndexEqAccess:
 
 
 @dataclass
+class IndexRangeAccess:
+    """Ordered-index range scan: an equality prefix on ``eq_columns``
+    plus bounds on ``range_column`` (the next index column), served by
+    :meth:`~repro.db.indexes.OrderedIndex.scan_range`.  Either bound may
+    be absent; the rest of the pushed conjuncts filter the result."""
+
+    index: object
+    eq_columns: Tuple[str, ...]
+    eq_exprs: List[ex.Expr]
+    range_column: str
+    low_expr: Optional[ex.Expr]
+    high_expr: Optional[ex.Expr]
+    include_low: bool
+    include_high: bool
+    residual: List[ex.Expr]
+
+
+@dataclass
 class IndexJoinChoice:
     """Inner side probed through a base-table index per left row."""
 
@@ -176,6 +231,8 @@ class IndexJoinChoice:
     key_columns: Tuple[str, ...]
     key_exprs: List[ex.Expr]
     residual: List[ex.Expr]                  # on the combined row
+    est_rows: Optional[float] = None         # cumulative join output
+    est_cost: Optional[float] = None         # cumulative cost
 
 
 @dataclass
@@ -185,25 +242,54 @@ class HashJoinChoice:
     left_exprs: List[ex.Expr]
     right_columns: List[str]
     residual: List[ex.Expr]
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
 
 
 @dataclass
 class NestedJoinChoice:
     residual: List[ex.Expr]
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
 
 
 # ---------------------------------------------------------------------------
 # shared matching helpers (also used by the engine's DML planner)
 # ---------------------------------------------------------------------------
 
-def constant_equality(conjunct, alias, local_scope):
-    """Match ``col = constant-expr`` where the expr has no local
-    column references.  Returns (column_name, value_expr) or (None,
-    None)."""
-    if not isinstance(conjunct, ex.Compare) or conjunct.op != "=":
-        return None, None
-    for col_side, val_side in ((conjunct.left, conjunct.right),
-                               (conjunct.right, conjunct.left)):
+_FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _const_side(value_expr: ex.Expr, local_scope) -> bool:
+    """True when the expression references no local columns and no
+    subqueries, so it is constant per execution of this scan."""
+    refs: List[ex.ColumnRef] = []
+    opaque = [False]
+    collect_columns(value_expr, refs, opaque)
+    if opaque[0]:
+        return False
+    for ref in refs:
+        try:
+            depth, _ = local_scope.resolve_depth(ref.name, ref.table)
+        except CatalogError:
+            return False           # unresolvable: play safe, don't push
+        if depth == 0:
+            return False
+    return True
+
+
+def constant_comparison(conjunct, alias, local_scope):
+    """Match ``col <op> constant-expr`` for ``=``, ``<``, ``<=``, ``>``,
+    ``>=`` with the column on either side.  Returns ``(column, op,
+    value_expr)`` with the operator normalized to column-on-the-left,
+    or ``(None, None, None)``."""
+    if not isinstance(conjunct, ex.Compare) or \
+            conjunct.op not in ("=", "<", "<=", ">", ">="):
+        return None, None, None
+    sides = ((conjunct.left, conjunct.right, conjunct.op),
+             (conjunct.right, conjunct.left,
+              _FLIP_OP.get(conjunct.op, conjunct.op)))
+    for col_side, val_side, op in sides:
         if not isinstance(col_side, ex.ColumnRef):
             continue
         if col_side.name == "_label":
@@ -214,24 +300,69 @@ def constant_equality(conjunct, alias, local_scope):
             local_scope.resolve(col_side.name, col_side.table)
         except CatalogError:
             continue
-        refs: List[ex.ColumnRef] = []
-        opaque = [False]
-        collect_columns(val_side, refs, opaque)
-        if opaque[0]:
-            continue
-        local = False
-        for ref in refs:
-            try:
-                depth, _ = local_scope.resolve_depth(ref.name, ref.table)
-            except CatalogError:
-                local = True   # unresolvable: play safe, don't push
-                break
-            if depth == 0:
-                local = True
-                break
-        if not local:
-            return col_side.name, val_side
+        if _const_side(val_side, local_scope):
+            return col_side.name, op, val_side
+    return None, None, None
+
+
+def constant_equality(conjunct, alias, local_scope):
+    """Match ``col = constant-expr``; returns (column_name, value_expr)
+    or (None, None).  Kept for the engine's DML planner."""
+    col, op, value = constant_comparison(conjunct, alias, local_scope)
+    if op == "=":
+        return col, value
     return None, None
+
+
+def _between_bounds(conjunct, alias, local_scope):
+    """Match ``col BETWEEN const AND const`` (not negated); returns
+    (column, low_expr, high_expr) or None."""
+    if not isinstance(conjunct, ex.Between) or conjunct.negated:
+        return None
+    operand = conjunct.operand
+    if not isinstance(operand, ex.ColumnRef) or operand.name == "_label":
+        return None
+    if operand.table is not None and operand.table != alias:
+        return None
+    try:
+        local_scope.resolve(operand.name, operand.table)
+    except CatalogError:
+        return None
+    if _const_side(conjunct.low, local_scope) and \
+            _const_side(conjunct.high, local_scope):
+        return operand.name, conjunct.low, conjunct.high
+    return None
+
+
+class _PredBounds:
+    """Pushed conjuncts of one entry, classified per column.
+
+    ``eq``/``lows``/``highs`` map a column to the first conjunct that
+    constrains it that way: ``eq[col] = (conjunct, expr)``, bound slots
+    are ``(conjunct, expr, inclusive)``.  A BETWEEN claims both bound
+    slots atomically or none."""
+
+    def __init__(self, conjuncts: List[ex.Expr], alias: str, local_scope):
+        self.eq: Dict[str, Tuple] = {}
+        self.lows: Dict[str, Tuple] = {}
+        self.highs: Dict[str, Tuple] = {}
+        for conjunct in conjuncts:
+            col, op, value = constant_comparison(conjunct, alias,
+                                                 local_scope)
+            if col is not None:
+                if op == "=":
+                    self.eq.setdefault(col, (conjunct, value))
+                elif op in (">", ">=") and col not in self.lows:
+                    self.lows[col] = (conjunct, value, op == ">=")
+                elif op in ("<", "<=") and col not in self.highs:
+                    self.highs[col] = (conjunct, value, op == "<=")
+                continue
+            between = _between_bounds(conjunct, alias, local_scope)
+            if between is not None:
+                col, low, high = between
+                if col not in self.lows and col not in self.highs:
+                    self.lows[col] = (conjunct, low, True)
+                    self.highs[col] = (conjunct, high, True)
 
 
 def best_index(table: Table, available: set):
@@ -315,10 +446,12 @@ def _equi_pair(conjunct, entry: SourceEntry, left_aliases: set,
 # ---------------------------------------------------------------------------
 
 class Optimizer:
-    """Annotates logical queries with access paths and join strategies."""
+    """Annotates logical queries with access paths and join strategies,
+    costing the alternatives from table statistics when available."""
 
-    def __init__(self, catalog):
+    def __init__(self, catalog, stats=None):
         self.catalog = catalog
+        self.stats = stats                   # StatsManager or None
 
     def optimize(self, query: LogicalQuery) -> LogicalQuery:
         if query.optimized:
@@ -327,29 +460,133 @@ class Optimizer:
         if not query.entries:
             query.residual_where = [fold_constants(c)
                                     for c in query.where_conjuncts]
+            query.est_rows = 1.0
+            query.est_cost = 0.0
             return query
+        # Derived entries first: their estimates feed join ordering.
+        for entry in query.entries:
+            if entry.derived is not None:
+                self.optimize(entry.derived)
         self._reorder_entries(query)
         join_extra = self._classify_where(query)
+        cum_rows = cum_cost = 0.0
         for i, entry in enumerate(query.entries):
             if entry.table is not None:
                 entry.access = self._choose_access(entry, query.scope)
-            if i > 0:
-                self._choose_join(query, i, join_extra[i])
+            else:
+                self._estimate_derived(entry, query.scope)
+            if i == 0:
+                cum_rows, cum_cost = entry.est_rows, entry.est_cost
+            else:
+                self._choose_join(query, i, join_extra[i], cum_rows,
+                                  cum_cost)
+                cum_rows = entry.join.est_rows
+                cum_cost = entry.join.est_cost
+                cum_rows *= DEFAULT_SEL ** len(entry.post_filters)
+        cum_rows *= DEFAULT_SEL ** len(query.residual_where)
+        query.est_rows = cum_rows
+        query.est_cost = cum_cost
         return query
 
-    # -- rule 2a: join reordering ------------------------------------------
+    # -- statistics plumbing ----------------------------------------------
+    def _stats_for(self, table: Table):
+        if self.stats is None or table is None:
+            return None
+        return self.stats.get(table)
+
+    def _base_rows(self, table: Table, stats) -> float:
+        rows = stats.row_count if stats is not None else table.approx_rows
+        return max(float(rows), ROW_FLOOR)
+
+    def _column_stats(self, stats, column: str):
+        if stats is None:
+            return None
+        return stats.columns.get(column)
+
+    def _conjunct_selectivity(self, conjunct, alias, local_scope,
+                              stats) -> float:
+        """Estimated fraction of rows satisfying one pushed conjunct."""
+        col, op, value = constant_comparison(conjunct, alias, local_scope)
+        if col is not None:
+            cs = self._column_stats(stats, col)
+            if op == "=":
+                return cs.eq_selectivity() if cs is not None \
+                    else DEFAULT_EQ_SEL
+            bound = value.value if isinstance(value, ex.Literal) else None
+            if cs is not None and bound is not None:
+                if op in (">", ">="):
+                    return cs.range_selectivity(bound, None,
+                                                include_low=(op == ">="))
+                return cs.range_selectivity(None, bound,
+                                            include_high=(op == "<="))
+            return DEFAULT_RANGE_SEL
+        between = _between_bounds(conjunct, alias, local_scope)
+        if between is not None:
+            col, low, high = between
+            cs = self._column_stats(stats, col)
+            if cs is not None and isinstance(low, ex.Literal) \
+                    and isinstance(high, ex.Literal):
+                return cs.range_selectivity(low.value, high.value)
+            return DEFAULT_RANGE_SEL ** 2
+        if isinstance(conjunct, ex.IsNull):
+            cs = None
+            if isinstance(conjunct.operand, ex.ColumnRef):
+                cs = self._column_stats(stats, conjunct.operand.name)
+            null_frac = cs.null_frac if cs is not None else 0.05
+            return (1.0 - null_frac) if conjunct.negated else null_frac
+        if isinstance(conjunct, ex.InList) and not conjunct.negated:
+            eq = DEFAULT_EQ_SEL
+            if isinstance(conjunct.operand, ex.ColumnRef):
+                cs = self._column_stats(stats, conjunct.operand.name)
+                if cs is not None:
+                    eq = cs.eq_selectivity()
+            return min(1.0, eq * len(conjunct.items))
+        if isinstance(conjunct, ex.Like) and not conjunct.negated:
+            return DEFAULT_LIKE_SEL
+        return DEFAULT_SEL
+
+    def _filtered_selectivity(self, conjuncts, alias, local_scope,
+                              stats) -> float:
+        sel = 1.0
+        for conjunct in conjuncts:
+            sel *= self._conjunct_selectivity(conjunct, alias, local_scope,
+                                              stats)
+        return sel
+
+    def _local_scope(self, entry: SourceEntry, scope_full: ex.Scope):
+        local_scope = ex.Scope(outer=scope_full.outer)
+        local_scope.add_table(entry.alias, entry.columns)
+        return local_scope
+
+    def _estimate_derived(self, entry: SourceEntry,
+                          scope_full: ex.Scope) -> None:
+        inner_rows = entry.derived.est_rows \
+            if entry.derived is not None and \
+            entry.derived.est_rows is not None else DEFAULT_DERIVED_ROWS
+        inner_cost = entry.derived.est_cost \
+            if entry.derived is not None and \
+            entry.derived.est_cost is not None else DEFAULT_DERIVED_ROWS
+        local_scope = self._local_scope(entry, scope_full)
+        sel = self._filtered_selectivity(entry.pushed, entry.alias,
+                                         local_scope, None)
+        entry.est_rows = inner_rows * sel
+        entry.est_cost = inner_cost + COST_ROW * inner_rows
+
+    # -- rule 2: join reordering -------------------------------------------
     def _reorder_entries(self, query: LogicalQuery) -> None:
-        """Lead an all-inner join with its most selective entry.
+        """Greedy cost-based ordering of an all-inner join sequence.
 
         For a chain of inner joins, ON conditions and WHERE conjuncts
-        are interchangeable, so both pools merge and the entry that can
-        be driven by an *index* on a local equality predicate becomes
-        the leading (outermost) entry.  This turns "scan the big fact
-        table, probe the filtered dimension" plans into "index-scan the
-        filtered entry, index-probe the fact table".  Queries with LEFT
-        JOINs keep their written order (reordering would change
-        NULL-extension semantics), and an unqualified ``*`` pins the
-        order too, because its output columns follow entry order.
+        are interchangeable, so both pools merge; the entry with the
+        smallest estimated filtered cardinality leads, and each later
+        position prefers entries equi-joinable to the placed prefix
+        (no cross products), smallest first.  This turns "scan the big
+        fact table, probe the filtered dimension" plans into
+        "index-scan the filtered entry, index-probe the fact table".
+        Queries with LEFT JOINs keep their written order (reordering
+        would change NULL-extension semantics), and an unqualified
+        ``*`` pins the order too, because its output columns follow
+        entry order.
         """
         entries = query.entries
         if len(entries) < 2 or any(e.join_kind != "inner"
@@ -386,33 +623,52 @@ class Optimizer:
             if not outer_ref and len(touched) == 1:
                 local_conjs[touched.pop()].append(conjunct)
 
-        def selectivity(i: int) -> int:
-            entry = entries[i]
-            if not local_conjs[i]:
-                return 0
-            if entry.table is None:
-                return 1
-            local_scope = ex.Scope(outer=query.scope.outer)
-            local_scope.add_table(entry.alias, entry.columns)
-            eq_columns = set()
-            for conjunct in local_conjs[i]:
-                col, _value = constant_equality(conjunct, entry.alias,
-                                                local_scope)
-                if col is not None:
-                    eq_columns.add(col)
-            if eq_columns and best_index(entry.table,
-                                         eq_columns)[0] is not None:
-                return 2
-            return 1
+        estimates: List[float] = []
+        for i, entry in enumerate(entries):
+            if entry.table is not None:
+                stats = self._stats_for(entry.table)
+                local_scope = self._local_scope(entry, query.scope)
+                sel = self._filtered_selectivity(local_conjs[i],
+                                                 entry.alias, local_scope,
+                                                 stats)
+                estimates.append(self._base_rows(entry.table, stats) * sel)
+            else:
+                inner = entry.derived.est_rows \
+                    if entry.derived is not None and \
+                    entry.derived.est_rows is not None \
+                    else DEFAULT_DERIVED_ROWS
+                local_scope = self._local_scope(entry, query.scope)
+                sel = self._filtered_selectivity(local_conjs[i],
+                                                 entry.alias, local_scope,
+                                                 None)
+                estimates.append(inner * sel)
 
-        scores = [selectivity(i) for i in range(len(entries))]
-        leader = max(range(len(entries)), key=lambda i: scores[i])
-        if leader != 0 and scores[leader] > scores[0]:
-            entries.insert(0, entries.pop(leader))
-            entries[0].join_kind = "inner"
+        def joinable(j: int, placed_aliases: set) -> bool:
+            for conjunct in pool:
+                if _equi_pair(conjunct, entries[j], placed_aliases,
+                              query.scope) is not None:
+                    return True
+            return False
+
+        order: List[int] = []
+        placed: set = set()
+        remaining = list(range(len(entries)))
+        while remaining:
+            def rank(j: int):
+                connected = not order or joinable(j, placed)
+                return (0 if connected else 1, estimates[j], j)
+            pick = min(remaining, key=rank)
+            remaining.remove(pick)
+            order.append(pick)
+            placed.add(entries[pick].alias)
+
+        if order != list(range(len(entries))):
+            query.entries = [entries[j] for j in order]
+            for entry in query.entries:
+                entry.join_kind = "inner"
             relayout(query)
 
-    # -- rule 2: predicate pushdown --------------------------------------
+    # -- rule 3: predicate pushdown ----------------------------------------
     def _classify_where(self, query: LogicalQuery) -> List[List[ex.Expr]]:
         """Distribute WHERE conjuncts; returns per-entry join extras."""
         entries = query.entries
@@ -450,34 +706,109 @@ class Optimizer:
                 query.residual_where.append(conjunct)
         return join_extra
 
-    # -- rule 3: access-path selection ------------------------------------
+    # -- rule 4: access-path selection -------------------------------------
     def _choose_access(self, entry: SourceEntry, scope_full: ex.Scope):
-        local_scope = ex.Scope(outer=scope_full.outer)
-        local_scope.add_table(entry.alias, entry.columns)
-        eq_cols = {}
-        for conjunct in entry.pushed:
-            col, value = constant_equality(conjunct, entry.alias,
-                                           local_scope)
-            if col is not None and col not in eq_cols:
-                eq_cols[col] = value
-        index = None
-        n_keys = 0
+        from .indexes import OrderedIndex
+        local_scope = self._local_scope(entry, scope_full)
+        bounds = _PredBounds(entry.pushed, entry.alias, local_scope)
+        stats = self._stats_for(entry.table)
+        rows = self._base_rows(entry.table, stats)
+        total_sel = self._filtered_selectivity(entry.pushed, entry.alias,
+                                               local_scope, stats)
+        pushed = entry.pushed
+
+        # Candidate 1: full heap scan (always available).
+        candidates: List[Tuple[float, int, object]] = [
+            (COST_ROW * rows, 2, FullScanAccess(list(pushed)))]
+
+        # Candidate 2: best equality-index probe.
+        eq_cols = {col: value for col, (_c, value) in bounds.eq.items()}
         if eq_cols:
             index, n_keys = best_index(entry.table, set(eq_cols))
-        if index is None:
-            return FullScanAccess(list(entry.pushed))
-        key_columns = tuple(index.columns[:n_keys])
-        covered = set(key_columns)
-        residual = [c for c in entry.pushed
-                    if not _covered_by(c, covered, entry.alias,
-                                       local_scope, eq_cols)]
-        return IndexEqAccess(index=index, key_columns=key_columns,
-                             key_exprs=[eq_cols[c] for c in key_columns],
-                             residual=residual)
+            if index is not None:
+                key_columns = tuple(index.columns[:n_keys])
+                covered = set(key_columns)
+                key_sel = self._filtered_selectivity(
+                    [bounds.eq[c][0] for c in key_columns],
+                    entry.alias, local_scope, stats)
+                residual = [c for c in pushed
+                            if not _covered_by(c, covered, entry.alias,
+                                               local_scope, eq_cols)]
+                cost = COST_PROBE + COST_ROW * rows * key_sel
+                candidates.append((cost, 0, IndexEqAccess(
+                    index=index, key_columns=key_columns,
+                    key_exprs=[eq_cols[c] for c in key_columns],
+                    residual=residual)))
 
-    # -- rule 4: join-strategy selection ----------------------------------
+        # Candidate 3: ordered-index range scans (eq prefix + bounds on
+        # the next index column).
+        for index in entry.table.indexes.values():
+            if not isinstance(index, OrderedIndex):
+                continue
+            prefix: List[str] = []
+            for col in index.columns:
+                if col in bounds.eq:
+                    prefix.append(col)
+                else:
+                    break
+            if len(prefix) >= len(index.columns):
+                continue                     # fully covered: eq path wins
+            range_col = index.columns[len(prefix)]
+            low = bounds.lows.get(range_col)
+            high = bounds.highs.get(range_col)
+            if low is None and high is None:
+                continue
+            consumed = {id(bounds.eq[c][0]) for c in prefix}
+            range_conjs = []
+            if low is not None:
+                consumed.add(id(low[0]))
+                range_conjs.append(low[0])
+            if high is not None:
+                consumed.add(id(high[0]))
+                range_conjs.append(high[0])
+            key_sel = self._filtered_selectivity(
+                [bounds.eq[c][0] for c in prefix], entry.alias,
+                local_scope, stats)
+            seen = set()
+            for conjunct in range_conjs:
+                if id(conjunct) in seen:
+                    continue
+                seen.add(id(conjunct))
+                key_sel *= self._conjunct_selectivity(
+                    conjunct, entry.alias, local_scope, stats)
+            residual = [c for c in pushed if id(c) not in consumed]
+            cost = COST_PROBE + COST_ROW * rows * key_sel
+            candidates.append((cost, 1, IndexRangeAccess(
+                index=index, eq_columns=tuple(prefix),
+                eq_exprs=[bounds.eq[c][1] for c in prefix],
+                range_column=range_col,
+                low_expr=low[1] if low is not None else None,
+                high_expr=high[1] if high is not None else None,
+                include_low=low[2] if low is not None else True,
+                include_high=high[2] if high is not None else True,
+                residual=residual)))
+
+        cost, _priority, access = min(candidates,
+                                      key=lambda c: (c[0], c[1]))
+        entry.est_rows = rows * total_sel
+        entry.est_cost = cost
+        return access
+
+    # -- rule 5: join-strategy selection -----------------------------------
+    def _join_pair_selectivity(self, table: Table, column: str,
+                               stats) -> float:
+        """P(right.col = probe value) per right row."""
+        cs = self._column_stats(stats, column)
+        if cs is not None and cs.ndv > 0:
+            return cs.eq_selectivity()
+        for _unique, index in table.unique_indexes:
+            if index.columns == (column,):
+                return 1.0 / self._base_rows(table, stats)
+        return DEFAULT_EQ_SEL
+
     def _choose_join(self, query: LogicalQuery, i: int,
-                     extra: List[ex.Expr]) -> None:
+                     extra: List[ex.Expr], left_rows: float,
+                     left_cost: float) -> None:
         entry = query.entries[i]
         scope = query.scope
         kind = entry.join_kind
@@ -500,8 +831,28 @@ class Optimizer:
             else:
                 residual.append(conjunct)
 
-        if entry.table is not None and eq_pairs and kind in ("inner", "left"):
-            index, n_keys = best_index(entry.table, {c for c, _ in eq_pairs})
+        table = entry.table
+        stats = self._stats_for(table) if table is not None else None
+        right_rows = entry.est_rows if entry.est_rows is not None \
+            else DEFAULT_DERIVED_ROWS
+        right_cost = entry.est_cost if entry.est_cost is not None \
+            else right_rows
+        pair_sel = 1.0
+        if table is not None:
+            for col, _expr in eq_pairs:
+                pair_sel *= self._join_pair_selectivity(table, col, stats)
+        elif eq_pairs:
+            pair_sel = min(1.0, 1.0 / max(right_rows, 1.0)) \
+                if right_rows else DEFAULT_EQ_SEL
+        out_rows = left_rows * right_rows * pair_sel \
+            * DEFAULT_SEL ** len(residual)
+        if kind == "left":
+            out_rows = max(out_rows, left_rows)
+        hash_cost = left_cost + right_cost + COST_BUILD_ROW * right_rows \
+            + COST_ROW * left_rows + COST_ROW * out_rows
+
+        if table is not None and eq_pairs and kind in ("inner", "left"):
+            index, n_keys = best_index(table, {c for c, _ in eq_pairs})
             if index is not None:
                 key_columns = tuple(index.columns[:n_keys])
                 # One pair per key column drives the probe; every other
@@ -523,15 +874,33 @@ class Optimizer:
                 if kind == "left" and entry.pushed:
                     raise DatabaseError(
                         "internal: predicates pushed below a left join")
-                entry.join = IndexJoinChoice(
-                    index=index, key_columns=key_columns,
-                    key_exprs=[by_col[c] for c in key_columns],
-                    residual=residual + leftovers + pushed_extra)
-                return
+                # Probes hit the base table (pushed predicates filter
+                # per probe), so fan-out uses the unfiltered row count.
+                base = self._base_rows(table, stats)
+                key_sel = 1.0
+                for col in key_columns:
+                    key_sel *= self._join_pair_selectivity(table, col,
+                                                           stats)
+                matches = max(base * key_sel, 0.0)
+                index_cost = left_cost + left_rows * (COST_PROBE
+                                                      + COST_ROW * matches)
+                if index_cost <= hash_cost:
+                    entry.join = IndexJoinChoice(
+                        index=index, key_columns=key_columns,
+                        key_exprs=[by_col[c] for c in key_columns],
+                        residual=residual + leftovers + pushed_extra,
+                        est_rows=out_rows, est_cost=index_cost)
+                    return
         if eq_pairs:
             entry.join = HashJoinChoice(
                 left_exprs=[e for _, e in eq_pairs],
                 right_columns=[c for c, _ in eq_pairs],
-                residual=residual)
+                residual=residual, est_rows=out_rows, est_cost=hash_cost)
             return
-        entry.join = NestedJoinChoice(residual=residual)
+        nested_out = left_rows * right_rows * DEFAULT_SEL ** len(residual)
+        if kind == "left":
+            nested_out = max(nested_out, left_rows)
+        entry.join = NestedJoinChoice(
+            residual=residual, est_rows=nested_out,
+            est_cost=left_cost + right_cost
+            + COST_ROW * left_rows * max(right_rows, 1.0))

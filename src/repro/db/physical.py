@@ -66,6 +66,10 @@ class Plan:
 
     #: One-line EXPLAIN annotation, attached by the planner at lowering.
     explain: Optional[str] = None
+    #: Optimizer estimates (rows out of this operator, cumulative cost),
+    #: attached by the planner at lowering and rendered by EXPLAIN.
+    est_rows: Optional[float] = None
+    est_cost: Optional[float] = None
 
     def rows(self, ctx: ExecContext) -> Iterator[ExecRow]:
         raise NotImplementedError
@@ -154,6 +158,54 @@ class IndexScan(Scan):
         if any(k is None for k in key):
             return iter(())
         return self.table.versions_for_tids(self.index.lookup(key))
+
+
+class IndexRangeScan(Scan):
+    """Scan driven by an ordered-index range lookup.
+
+    The key is an equality prefix (``eq_fns``) plus optional low/high
+    bounds on the next index column, all computed per execution; the
+    candidate tids come from ``OrderedIndex.scan_range``.  A bound
+    expression evaluating to NULL yields no rows (a SQL comparison
+    against NULL is UNKNOWN), matching what the filter would do.
+    """
+
+    def __init__(self, table: Table, index, eq_fns: List[Callable],
+                 low_fn: Optional[Callable], high_fn: Optional[Callable],
+                 include_low: bool, include_high: bool,
+                 predicate: Optional[Callable], declass: Label,
+                 view_grants: List[Tuple[ViewDef, Label]]):
+        super().__init__(table, predicate, declass, view_grants)
+        self.index = index
+        self.eq_fns = eq_fns
+        self.low_fn = low_fn
+        self.high_fn = high_fn
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def _candidates(self, ctx):
+        prefix = tuple(fn([], ctx) for fn in self.eq_fns)
+        if any(k is None for k in prefix):
+            return iter(())
+        low = prefix if prefix else None
+        include_low = True
+        if self.low_fn is not None:
+            value = self.low_fn([], ctx)
+            if value is None:
+                return iter(())
+            low = prefix + (value,)
+            include_low = self.include_low
+        high = prefix if prefix else None
+        include_high = True
+        if self.high_fn is not None:
+            value = self.high_fn([], ctx)
+            if value is None:
+                return iter(())
+            high = prefix + (value,)
+            include_high = self.include_high
+        return self.table.versions_for_tids(
+            self.index.scan_range(low, high, include_low=include_low,
+                                  include_high=include_high))
 
 
 class Filter(Plan):
@@ -533,10 +585,15 @@ def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
     """Render a physical plan tree as indented one-line operator summaries.
 
     The text of each line is the operator's ``explain`` annotation
-    (attached by the planner during lowering) or the bare class name, so
-    the output always reflects the tree that ``rows()`` would execute.
+    (attached by the planner during lowering) or the bare class name,
+    followed by the optimizer's cost/row estimates when it attached
+    them, so the output always reflects the tree — and the costing —
+    that ``rows()`` would execute under.
     """
     line = "  " * indent + (plan.explain or type(plan).__name__)
+    if plan.est_rows is not None:
+        line += "  (cost=%.2f rows=%d)" % (plan.est_cost or 0.0,
+                                           round(plan.est_rows))
     lines = [line]
     for child in _children(plan):
         lines.extend(explain_plan(child, indent + 1))
@@ -552,3 +609,23 @@ def _children(plan: Plan) -> List[Plan]:
         return [plan.inner]
     child = getattr(plan, "child", None)
     return [child] if child is not None else []
+
+
+def plan_tables(plan: Plan) -> frozenset:
+    """Names of the base tables a plan tree reads (scans and index-join
+    inner sides).  Used to selectively evict cached plans when a table's
+    statistics are refreshed.  Subqueries compiled into expressions are
+    not walked — a plan missing from an eviction stays merely stale in
+    its *estimates*; DDL still invalidates every plan via the catalog
+    version."""
+    names = set()
+
+    def visit(node: Plan) -> None:
+        table = getattr(node, "table", None)
+        if isinstance(table, Table):
+            names.add(table.name)
+        for child in _children(node):
+            visit(child)
+
+    visit(plan)
+    return frozenset(names)

@@ -29,10 +29,13 @@ from . import expressions as ex
 from .catalog import Catalog
 from .logical import LogicalQuery, SourceEntry, build_logical
 from .optimizer import (
+    COST_ROW,
+    DEFAULT_SEL,
     FullScanAccess,
     HashJoinChoice,
     IndexEqAccess,
     IndexJoinChoice,
+    IndexRangeAccess,
     Optimizer,
 )
 from .physical import (
@@ -45,6 +48,7 @@ from .physical import (
     Filter,
     HashJoin,
     IndexLoopJoin,
+    IndexRangeScan,
     IndexScan,
     Limit,
     NestedLoopJoin,
@@ -61,19 +65,19 @@ from .physical import (
 __all__ = [
     "AggregateNode", "AggSpec", "DeterministicOrder", "Distinct",
     "ExecContext", "ExecRow", "Filter", "HashJoin", "IndexLoopJoin",
-    "IndexScan", "Limit", "NestedLoopJoin", "Plan", "Planner",
-    "PreparedSelect", "Project", "Scan", "SingleRow", "Sort", "ViewPlan",
-    "explain_plan",
+    "IndexRangeScan", "IndexScan", "Limit", "NestedLoopJoin", "Plan",
+    "Planner", "PreparedSelect", "Project", "Scan", "SingleRow", "Sort",
+    "ViewPlan", "explain_plan",
 ]
 
 
 class Planner:
     """Plans SELECTs against the current catalog via the three layers."""
 
-    def __init__(self, catalog: Catalog, registry):
+    def __init__(self, catalog: Catalog, registry, stats=None):
         self.catalog = catalog
         self.registry = registry
-        self.optimizer = Optimizer(catalog)
+        self.optimizer = Optimizer(catalog, stats=stats)
 
     # -- public entry points ----------------------------------------------
     def plan_select(self, select: ast.Select,
@@ -112,6 +116,23 @@ class Planner:
                 compiler: ex.ExprCompiler) -> Plan:
         plan = Filter(child, compiler.compile(conjunct))
         plan.explain = "Filter (%s)" % ex.to_sql(conjunct)
+        if child.est_rows is not None:
+            plan.est_rows = child.est_rows * DEFAULT_SEL
+            plan.est_cost = (child.est_cost or 0.0) \
+                + COST_ROW * child.est_rows
+        return plan
+
+    @staticmethod
+    def _annotate(plan: Plan, est_rows, est_cost) -> Plan:
+        plan.est_rows = est_rows
+        plan.est_cost = est_cost
+        return plan
+
+    @staticmethod
+    def _passthrough(plan: Plan, child: Plan) -> Plan:
+        """Copy the child's estimates onto a rows-preserving operator."""
+        plan.est_rows = child.est_rows
+        plan.est_cost = child.est_cost
         return plan
 
     def _local_compiler(self, entry: SourceEntry, scope_full: ex.Scope):
@@ -142,11 +163,14 @@ class Planner:
             plan: Plan = ViewPlan(inner.plan)
             plan.explain = ("View %s" if entry.relation_name
                             else "Subquery %s") % self._relation(entry)
+            self._passthrough(plan, inner.plan)
             # Predicates stay above the label-stripping boundary: they
             # see the view's output (stripped) labels, never the inner
             # tuples' raw labels.
             for conjunct in entry.pushed:
                 plan = self._filter(plan, conjunct, local_compiler)
+            if entry.pushed:
+                self._annotate(plan, entry.est_rows, entry.est_cost)
             return plan
         access = entry.access
         if isinstance(access, IndexEqAccess):
@@ -158,19 +182,49 @@ class Planner:
                 self._relation(entry), access.index.name,
                 self._key_text(access.key_columns, access.key_exprs),
                 self._filter_text(access.residual))
-            return plan
+            return self._annotate(plan, entry.est_rows, entry.est_cost)
+        if isinstance(access, IndexRangeAccess):
+            eq_fns = [local_compiler.compile(e) for e in access.eq_exprs]
+            low_fn = (local_compiler.compile(access.low_expr)
+                      if access.low_expr is not None else None)
+            high_fn = (local_compiler.compile(access.high_expr)
+                       if access.high_expr is not None else None)
+            predicate = self._conjunction(access.residual, local_compiler)
+            plan = IndexRangeScan(entry.table, access.index, eq_fns,
+                                  low_fn, high_fn, access.include_low,
+                                  access.include_high, predicate,
+                                  entry.declass, entry.view_grants)
+            plan.explain = "IndexRangeScan %s using %s (%s)%s" % (
+                self._relation(entry), access.index.name,
+                self._range_key_text(access),
+                self._filter_text(access.residual))
+            return self._annotate(plan, entry.est_rows, entry.est_cost)
         conjuncts = access.conjuncts if isinstance(access, FullScanAccess) \
             else list(entry.pushed)
         predicate = self._conjunction(conjuncts, local_compiler)
         plan = Scan(entry.table, predicate, entry.declass, entry.view_grants)
         plan.explain = "Scan %s%s" % (self._relation(entry),
                                       self._filter_text(conjuncts))
-        return plan
+        return self._annotate(plan, entry.est_rows, entry.est_cost)
 
     @staticmethod
     def _key_text(key_columns, key_exprs) -> str:
         return ", ".join("%s = %s" % (col, ex.to_sql(expr))
                          for col, expr in zip(key_columns, key_exprs))
+
+    @staticmethod
+    def _range_key_text(access: IndexRangeAccess) -> str:
+        parts = ["%s = %s" % (col, ex.to_sql(expr))
+                 for col, expr in zip(access.eq_columns, access.eq_exprs)]
+        if access.low_expr is not None:
+            parts.append("%s %s %s" % (
+                access.range_column, ">=" if access.include_low else ">",
+                ex.to_sql(access.low_expr)))
+        if access.high_expr is not None:
+            parts.append("%s %s %s" % (
+                access.range_column, "<=" if access.include_high else "<",
+                ex.to_sql(access.high_expr)))
+        return ", ".join(parts)
 
     @staticmethod
     def _filter_text(conjuncts: List[ex.Expr]) -> str:
@@ -193,7 +247,7 @@ class Planner:
                 kind, self._relation(entry), choice.index.name,
                 self._key_text(choice.key_columns, choice.key_exprs),
                 self._filter_text(choice.residual))
-            return plan
+            return self._annotate(plan, choice.est_rows, choice.est_cost)
         right_plan = self._lower_entry(entry, scope)
         if isinstance(choice, HashJoinChoice):
             left_key_fns = [compiler.compile(e) for e in choice.left_exprs]
@@ -208,13 +262,13 @@ class Planner:
                           for col, e in zip(choice.right_columns,
                                             choice.left_exprs)),
                 self._filter_text(choice.residual))
-            return plan
+            return self._annotate(plan, choice.est_rows, choice.est_cost)
         residual_fn = self._conjunction(choice.residual, compiler)
         plan = NestedLoopJoin(left, right_plan, kind, residual_fn,
                               entry.width)
         plan.explain = "NestedLoopJoin (%s)%s" % (
             kind, self._filter_text(choice.residual))
-        return plan
+        return self._annotate(plan, choice.est_rows, choice.est_cost)
 
     # -- select list, grouping, ordering ----------------------------------
     def _finish_select(self, query: LogicalQuery, plan: Plan,
@@ -262,13 +316,17 @@ class Planner:
                                       else ""))
             sort = Sort(plan, key_fns, descending)
             sort.explain = "Sort [%s]" % ", ".join(order_texts)
+            self._passthrough(sort, plan)
             plan = sort
 
         project = Project(plan, out_fns)
         project.explain = "Project [%s]" % ", ".join(names)
+        self._passthrough(project, plan)
         plan = project
         if select.distinct:
-            plan = Distinct(plan)
+            distinct = Distinct(plan)
+            self._passthrough(distinct, plan)
+            plan = distinct
         if select.limit is not None or select.offset is not None:
             limit_fn = (compiler.compile(select.limit)
                         if select.limit is not None else None)
@@ -281,6 +339,7 @@ class Planner:
             if select.offset is not None:
                 parts.append("offset %s" % ex.to_sql(select.offset))
             limit.explain = "Limit (%s)" % ", ".join(parts)
+            self._passthrough(limit, plan)
             plan = limit
         return PreparedSelect(plan, list(names))
 

@@ -263,6 +263,9 @@ class Session:
         if isinstance(statement, ast.Vacuum):
             self.db.vacuum(statement.table)
             return Result()
+        if isinstance(statement, ast.Analyze):
+            self.db.analyze(statement.table)
+            return Result()
         if isinstance(statement, ast.Explain):
             return self._execute_explain(statement)
         # DDL is delegated to the engine.
@@ -488,6 +491,7 @@ class Session:
             fire_triggers(self.db, self, table, DELETE, BEFORE,
                           version.values, None, statement_label)
             version.xmax = txn.xid
+            table.modifications += 1
             txn.record_write(table.name, version.tid, version.label,
                              "delete")
             count += 1

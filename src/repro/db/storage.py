@@ -36,6 +36,11 @@ class Table:
         self.indexes: Dict[str, object] = {}
         self.unique_indexes: List[Tuple] = []   # (constraint, index)
         self.polyinstantiation_count = 0
+        #: Monotonic write counter (inserts, update versions, deletes);
+        #: the statistics subsystem compares it against the value seen
+        #: at ANALYZE time to decide when histograms have gone stale.
+        self.modifications = 0
+        self._heap_count = 0                    # non-None versions, O(1)
         # Auto-create a unique hash index per uniqueness constraint.
         for unique in schema.uniques:
             index = HashIndex(
@@ -104,6 +109,8 @@ class Table:
             data_size=data_size, store_label=self._store_labels)
         version.page_id = self._allocator.place(version.size)
         self._versions.append(version)
+        self.modifications += 1
+        self._heap_count += 1
         self.touch(version)
         for index in self.indexes.values():
             index.insert(values, version.tid)
@@ -127,6 +134,12 @@ class Table:
     @property
     def version_count(self) -> int:
         return sum(1 for v in self._versions if v is not None)
+
+    @property
+    def approx_rows(self) -> int:
+        """Cheap (O(1)) row-count estimate for un-analyzed tables: live
+        heap versions, which overcounts deleted-but-unvacuumed rows."""
+        return self._heap_count
 
     @property
     def pages(self) -> int:
@@ -158,5 +171,6 @@ class Table:
                 for index in self.indexes.values():
                     index.remove(version.values, tid)
                 self._versions[tid] = None
+                self._heap_count -= 1
                 removed += 1
         return removed

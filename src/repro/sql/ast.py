@@ -210,6 +210,13 @@ class Vacuum:
 
 
 @dataclass
+class Analyze:
+    """ANALYZE [table] — collect optimizer statistics (db/stats.py)."""
+
+    table: Optional[str] = None
+
+
+@dataclass
 class Explain:
     """EXPLAIN <statement> — render the plan instead of executing it."""
 
@@ -218,4 +225,4 @@ class Explain:
 
 Statement = Union[Select, Insert, Update, Delete, CreateTable, CreateView,
                   CreateIndex, DropTable, DropView, DropIndex, Begin, Commit,
-                  Rollback, Call, Vacuum, Explain]
+                  Rollback, Call, Vacuum, Analyze, Explain]

@@ -1,9 +1,10 @@
 """SQL lexer.
 
 Produces a flat token list for the recursive-descent parser.  Keywords
-are matched case-insensitively at parse time; identifier case is
-preserved (the applications in :mod:`repro.apps` use CamelCase table
-names like the paper's ``HIVPatients``).
+— including statement heads like ``ANALYZE`` and ``EXPLAIN`` — are
+plain identifier tokens matched case-insensitively at parse time;
+identifier case is preserved (the applications in :mod:`repro.apps`
+use CamelCase table names like the paper's ``HIVPatients``).
 """
 
 from __future__ import annotations

@@ -12,7 +12,9 @@ applications and benchmarks exercise, plus IFDB's extensions:
 * ``LABEL CHECK (expr)`` — expression label constraints over ``_label``;
 * the ``_label`` system column usable anywhere a column is;
 * ``EXPLAIN <statement>`` — returns the optimizer's plan (one operator
-  per row) instead of executing the statement.
+  per row, with estimated cost/rows) instead of executing the statement;
+* ``ANALYZE [table]`` — collects the optimizer statistics
+  (:mod:`repro.db.stats`) the cost model estimates cardinalities from.
 
 Tag names in DECLASSIFYING clauses may be identifiers or string
 literals (tags like ``'alice-drives'`` contain hyphens).
@@ -135,6 +137,11 @@ class Parser:
             if self.peek().kind == IDENT:
                 table = self.expect_ident()
             return ast.Vacuum(table)
+        if self.accept_keyword("ANALYZE"):
+            table = None
+            if self.peek().kind == IDENT:
+                table = self.expect_ident()
+            return ast.Analyze(table)
         self.error("unrecognized statement")
 
     # -- SELECT -----------------------------------------------------------

@@ -222,6 +222,9 @@ class TPCCWorkload:
                 self._load_customers(w_id, d_id)
                 self._load_orders(w_id, d_id)
         session.commit()
+        # Collect optimizer statistics over the freshly loaded tables so
+        # the cost model plans the transaction mix from real cardinalities.
+        self.db.analyze()
 
     def _load_customers(self, w_id: int, d_id: int) -> None:
         cfg = self.config
