@@ -33,11 +33,14 @@ from .catalog import (
     TriggerDef,
     ViewDef,
 )
-from .expressions import Scope, to_sql
-from .logical import split_conjuncts
-from .optimizer import best_index, constant_equality
+from .expressions import Scope
 from .pages import BufferCache
-from .physical import PreparedSelect, explain_plan, plan_tables
+from .physical import (
+    PreparedDML,
+    PreparedSelect,
+    explain_plan,
+    plan_tables,
+)
 from .planner import Planner
 from .schema import (
     CheckConstraint,
@@ -52,58 +55,6 @@ from .stats import StatsManager
 from .storage import Table
 from .transactions import SNAPSHOT, TransactionManager
 from .types import type_by_name
-
-
-class DMLScan:
-    """Target-row scan for UPDATE/DELETE: yields tuple *versions*.
-
-    Unlike SELECT plans (which yield values), DML needs the physical
-    versions so it can stamp ``xmax``.  Visibility here is the same
-    Query-by-Label rule as reads; the write-rule equality check happens
-    in the session on each yielded version.
-    """
-
-    def __init__(self, table: Table, index, key_fns, predicate):
-        self.table = table
-        self.index = index
-        self.key_fns = key_fns
-        self.predicate = predicate
-
-    def versions(self, session, ctx):
-        from ..core.rules import covers
-        txn = session.transaction
-        txn_manager = session.db.txn_manager
-        registry = ctx.registry
-        table = self.table
-        read_label = ctx.read_label
-        check_labels = ctx.ifc_enabled
-        predicate = self.predicate
-        if self.index is not None:
-            key = tuple(fn([], ctx) for fn in self.key_fns)
-            if any(k is None for k in key):
-                return
-            candidates = table.versions_for_tids(self.index.lookup(key))
-        else:
-            candidates = table.all_versions()
-        for version in candidates:
-            table.touch(version)
-            if not txn_manager.visible(version, txn):
-                continue
-            if check_labels and not covers(registry, version.label,
-                                           read_label):
-                continue
-            if predicate is not None:
-                row = list(version.values)
-                row.append(version.label)
-                if not predicate(row, ctx):
-                    continue
-            yield version
-
-
-class PreparedDML:
-    def __init__(self, scan: DMLScan, assignments: List[Tuple[int, Callable]]):
-        self.scan = scan
-        self.assignments = assignments
 
 
 class PreparedInsert:
@@ -138,7 +89,8 @@ class Database:
                  deterministic_order: bool = False,
                  default_isolation: str = SNAPSHOT,
                  seed: Optional[int] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 naive_plans: bool = False):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -153,8 +105,12 @@ class Database:
         self.buffer_cache = BufferCache(capacity=buffer_pages,
                                         io_penalty=io_penalty)
         self.stats_manager = StatsManager(self)
+        # ``naive_plans`` forces reference plans (full scans, nested
+        # loops, no pushdown) — the differential harness's known-good
+        # executor; see Optimizer.naive.
         self.planner = Planner(self.catalog, self.authority.tags,
-                               stats=self.stats_manager)
+                               stats=self.stats_manager,
+                               naive=naive_plans)
         self._parse_cache: Dict[str, object] = {}
         # Prepared-plan caches, keyed by SQL text (or statement identity
         # for programmatic statements); each entry is
@@ -235,12 +191,14 @@ class Database:
     def invalidate_plans_for(self, table_name: str) -> None:
         """Evict cached plans that read ``table_name`` (stats refresh).
 
-        UPDATE/DELETE plans are left alone: ``_plan_dml`` picks its
-        access path from equality predicates and indexes only, never
-        from statistics, so replanning them after a refresh would
-        rebuild byte-identical plans.
+        DML plans participate too: UPDATE/DELETE target scans come out
+        of the same cost-based access-path enumeration as SELECT, so a
+        refreshed histogram can legitimately flip their plan (e.g.
+        full scan → index range scan once a range predicate turns out
+        to be selective).
         """
-        for cache in (self._select_cache, self._insert_cache):
+        for cache in (self._select_cache, self._dml_cache,
+                      self._insert_cache):
             stale = [key for key, entry in cache.items()
                      if table_name in entry[2]]
             for key in stale:
@@ -266,9 +224,9 @@ class Database:
         cached = self._dml_cache.get(key)
         if cached is not None and cached[0] is statement:
             return cached[1]
-        prepared = self._plan_dml(statement)
+        prepared = self.planner.plan_dml(statement)
         self._dml_cache[key] = (statement, prepared,
-                                frozenset((statement.table,)))
+                                plan_tables(prepared.plan))
         return prepared
 
     def prepare_insert(self, statement: ast.Insert,
@@ -315,58 +273,11 @@ class Database:
             prepared = self.prepare_dml(statement, sql)
             verb = "Update" if isinstance(statement, ast.Update) \
                 else "Delete"
-            return ["%s %s" % (verb, statement.table),
-                    "  " + prepared.scan.explain]
+            return (["%s %s" % (verb, statement.table)]
+                    + explain_plan(prepared.plan, indent=1))
         raise DatabaseError(
             "EXPLAIN supports SELECT, UPDATE, and DELETE, not %s"
             % type(statement).__name__)
-
-    def _plan_dml(self, statement) -> PreparedDML:
-        table = self.catalog.get_table(statement.table)
-        scope = Scope()
-        scope.add_table(table.name, table.schema.column_names)
-        compiler = self.planner.compiler(scope)
-
-        conjuncts = split_conjuncts(statement.where)
-        eq_cols = {}
-        for conjunct in conjuncts:
-            col, value = constant_equality(conjunct, table.name, scope)
-            if col is not None and col not in eq_cols:
-                eq_cols[col] = (conjunct, value)
-        index = None
-        n_keys = 0
-        if eq_cols:
-            index, n_keys = best_index(table, set(eq_cols))
-        key_fns = []
-        key_texts = []
-        residual = list(conjuncts)
-        if index is not None:
-            for col in index.columns[:n_keys]:
-                conjunct, value = eq_cols[col]
-                key_fns.append(compiler.compile(value))
-                key_texts.append("%s = %s" % (col, to_sql(value)))
-                residual.remove(conjunct)
-        predicate = None
-        if residual:
-            from .expressions import And
-            node = residual[0] if len(residual) == 1 else And(residual)
-            predicate = compiler.compile(node)
-        scan = DMLScan(table, index, key_fns, predicate)
-        if index is not None:
-            scan.explain = "DMLScan %s using %s (%s)" % (
-                table.name, index.name, ", ".join(key_texts))
-        else:
-            scan.explain = "DMLScan %s" % table.name
-        if residual:
-            scan.explain += " filter (%s)" % " AND ".join(
-                to_sql(c) for c in residual)
-
-        assignments: List[Tuple[int, Callable]] = []
-        if isinstance(statement, ast.Update):
-            for column, expr in statement.assignments:
-                position = table.schema.position(column)
-                assignments.append((position, compiler.compile(expr)))
-        return PreparedDML(scan, assignments)
 
     def resolve_tag_label(self, names: Sequence[str]) -> Label:
         if not names:

@@ -111,6 +111,26 @@ class LogicalQuery:
     est_cost: Optional[float] = None             # estimated total cost
 
 
+@dataclass
+class LogicalDML:
+    """A resolved UPDATE/DELETE: the target table as a single
+    :class:`SourceEntry` so the optimizer's access-path enumeration —
+    equality probes, ordered-index range scans, stats-driven costing —
+    applies to DML target selection exactly as it does to SELECT scans.
+
+    DML targets are always base tables (the catalog rejects views), so
+    the entry never carries declassification, and there is no join
+    sequence: the optimizer's only job here is pushing the WHERE
+    conjuncts into the entry and choosing its access path.
+    """
+
+    entry: SourceEntry
+    scope: ex.Scope
+    where_conjuncts: List[ex.Expr]
+    # ---- optimizer annotations -------------------------------------
+    optimized: bool = False
+
+
 def _flatten_from(items: List[ast.FromItem]) -> List[Tuple]:
     """Flatten the FROM clause into a left-deep join sequence.
 
@@ -200,6 +220,25 @@ def relayout(query: LogicalQuery) -> None:
     query.scope = scope
     query.items = _expand_items(query.select, scope)
     query.columns = [name for _, name in query.items]
+
+
+def build_dml_logical(statement, catalog: Catalog) -> LogicalDML:
+    """Resolve a parsed UPDATE/DELETE into a logical DML plan.
+
+    The target is resolved like a one-table FROM clause: the scope
+    exposes the table's columns plus the ``_label`` pseudo-column, so
+    WHERE predicates and UPDATE SET expressions compile exactly as they
+    would in a single-table SELECT.
+    """
+    table = catalog.get_table(statement.table)
+    columns = table.schema.column_names
+    entry = SourceEntry(alias=table.name, columns=columns,
+                        width=len(columns) + 1, table=table,
+                        relation_name=table.name)
+    scope = ex.Scope()
+    scope.add_table(entry.alias, entry.columns)
+    return LogicalDML(entry=entry, scope=scope,
+                      where_conjuncts=split_conjuncts(statement.where))
 
 
 def build_logical(select: ast.Select, catalog: Catalog,

@@ -53,8 +53,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import CatalogError, DatabaseError
 from . import expressions as ex
-from .logical import LogicalQuery, SourceEntry, collect_columns, \
-    relayout, split_conjuncts
+from .logical import LogicalDML, LogicalQuery, SourceEntry, \
+    collect_columns, relayout, split_conjuncts
 from .stats import (
     DEFAULT_DERIVED_ROWS,
     DEFAULT_EQ_SEL,
@@ -307,7 +307,7 @@ def constant_comparison(conjunct, alias, local_scope):
 
 def constant_equality(conjunct, alias, local_scope):
     """Match ``col = constant-expr``; returns (column_name, value_expr)
-    or (None, None).  Kept for the engine's DML planner."""
+    or (None, None)."""
     col, op, value = constant_comparison(conjunct, alias, local_scope)
     if op == "=":
         return col, value
@@ -447,11 +447,44 @@ def _equi_pair(conjunct, entry: SourceEntry, left_aliases: set,
 
 class Optimizer:
     """Annotates logical queries with access paths and join strategies,
-    costing the alternatives from table statistics when available."""
+    costing the alternatives from table statistics when available.
 
-    def __init__(self, catalog, stats=None):
+    ``naive=True`` disables every optimization: full heap scans, no
+    join reordering, no predicate pushdown, nested-loop joins only,
+    with every conjunct evaluated as a residual filter.  This is the
+    reference executor of the differential test harness
+    (``tests/test_differential.py``) — any plan the real optimizer
+    picks must agree with the naive plan on rows, labels, and effects,
+    because none of these choices may change *what* a statement sees
+    or touches, only how fast it finds it.
+    """
+
+    def __init__(self, catalog, stats=None, naive: bool = False):
         self.catalog = catalog
         self.stats = stats                   # StatsManager or None
+        self.naive = naive
+
+    def optimize_dml(self, query: LogicalDML) -> LogicalDML:
+        """Annotate an UPDATE/DELETE target with its access path.
+
+        Every WHERE conjunct is folded and pushed into the single
+        target entry — there is no join sequence and no residual layer
+        above the scan, so the access path's residual predicate is
+        where non-key conjuncts (including subqueries) are evaluated.
+        Access-path selection then runs the same costed enumeration as
+        SELECT: equality probes, ordered-index range scans, full scan.
+        """
+        if query.optimized:
+            return query
+        query.optimized = True
+        entry = query.entry
+        for conjunct in query.where_conjuncts:
+            folded = fold_constants(conjunct)
+            if _literal(folded) and folded.value is True:
+                continue
+            entry.pushed.append(folded)
+        entry.access = self._choose_access(entry, query.scope)
+        return query
 
     def optimize(self, query: LogicalQuery) -> LogicalQuery:
         if query.optimized:
@@ -589,6 +622,8 @@ class Optimizer:
         entry order.
         """
         entries = query.entries
+        if self.naive:
+            return
         if len(entries) < 2 or any(e.join_kind != "inner"
                                    for e in entries[1:]):
             return
@@ -678,6 +713,11 @@ class Optimizer:
         for conjunct in query.where_conjuncts:
             conjunct = fold_constants(conjunct)
             if _literal(conjunct) and conjunct.value is True:
+                continue
+            if self.naive:
+                # No pushdown: every WHERE conjunct filters at the top,
+                # after all joins — plain SQL WHERE semantics.
+                query.residual_where.append(conjunct)
                 continue
             refs: List[ex.ColumnRef] = []
             opaque = [False]
@@ -788,8 +828,11 @@ class Optimizer:
                 include_high=high[2] if high is not None else True,
                 residual=residual)))
 
-        cost, _priority, access = min(candidates,
-                                      key=lambda c: (c[0], c[1]))
+        if self.naive:
+            cost, _priority, access = candidates[0]   # the full scan
+        else:
+            cost, _priority, access = min(candidates,
+                                          key=lambda c: (c[0], c[1]))
         entry.est_rows = rows * total_sel
         entry.est_cost = cost
         return access
@@ -824,12 +867,17 @@ class Optimizer:
 
         eq_pairs: List[Tuple[str, ex.Expr]] = []   # (right col, left expr)
         residual: List[ex.Expr] = []
-        for conjunct in on_conjuncts:
-            pair = _equi_pair(conjunct, entry, left_aliases, scope)
-            if pair is not None:
-                eq_pairs.append(pair)
-            else:
-                residual.append(conjunct)
+        if self.naive:
+            # No equi-pair extraction: every ON condition stays a
+            # residual filter on the nested-loop join at this level.
+            residual = list(on_conjuncts)
+        else:
+            for conjunct in on_conjuncts:
+                pair = _equi_pair(conjunct, entry, left_aliases, scope)
+                if pair is not None:
+                    eq_pairs.append(pair)
+                else:
+                    residual.append(conjunct)
 
         table = entry.table
         stats = self._stats_for(table) if table is not None else None

@@ -111,6 +111,40 @@ class Scan(Plan):
     def _candidates(self, ctx: ExecContext):
         return self.table.all_versions()
 
+    def versions(self, ctx: ExecContext):
+        """Target-row enumeration for UPDATE/DELETE: yields the physical
+        tuple *versions* so the session can stamp ``xmax``.
+
+        Driven by the same access path as ``rows()`` (``_candidates``
+        is what ``IndexScan``/``IndexRangeScan`` override), with the
+        same MVCC and Query-by-Label visibility — an invisible tuple is
+        simply unaffected by DML.  The write-rule *equality* check
+        (section 4.2) happens in the session on each yielded version.
+        DML targets are base tables, never views, so no
+        declassification applies here.
+        """
+        session = ctx.session
+        txn = session.transaction
+        txn_manager = session.db.txn_manager
+        table = self.table
+        predicate = self.predicate
+        registry = ctx.registry
+        read_label = ctx.read_label
+        check_labels = ctx.ifc_enabled
+        for version in self._candidates(ctx):
+            table.touch(version)
+            if not txn_manager.visible(version, txn):
+                continue
+            if check_labels and not covers(registry, version.label,
+                                           read_label):
+                continue
+            if predicate is not None:
+                values = list(version.values)
+                values.append(version.label)
+                if not predicate(values, ctx):
+                    continue
+            yield version
+
     def rows(self, ctx):
         if ctx.ifc_enabled and self.view_grants:
             self._check_view_authority(ctx)
@@ -579,6 +613,18 @@ class PreparedSelect:
     def __init__(self, plan: Plan, columns: List[str]):
         self.plan = plan
         self.columns = columns
+
+
+class PreparedDML:
+    """A planned UPDATE/DELETE: the target scan (a :class:`Scan`
+    subclass whose ``versions()`` drives execution) plus the compiled
+    ``SET`` assignments (UPDATE only; empty for DELETE)."""
+
+    __slots__ = ("plan", "assignments")
+
+    def __init__(self, plan: Scan, assignments: List[Tuple[int, Callable]]):
+        self.plan = plan
+        self.assignments = assignments
 
 
 def explain_plan(plan: Plan, indent: int = 0) -> List[str]:

@@ -27,7 +27,8 @@ from ..errors import DatabaseError
 from ..sql import ast
 from . import expressions as ex
 from .catalog import Catalog
-from .logical import LogicalQuery, SourceEntry, build_logical
+from .logical import LogicalQuery, SourceEntry, build_dml_logical, \
+    build_logical
 from .optimizer import (
     COST_ROW,
     DEFAULT_SEL,
@@ -53,6 +54,7 @@ from .physical import (
     Limit,
     NestedLoopJoin,
     Plan,
+    PreparedDML,
     PreparedSelect,
     Project,
     Scan,
@@ -66,18 +68,24 @@ __all__ = [
     "AggregateNode", "AggSpec", "DeterministicOrder", "Distinct",
     "ExecContext", "ExecRow", "Filter", "HashJoin", "IndexLoopJoin",
     "IndexRangeScan", "IndexScan", "Limit", "NestedLoopJoin", "Plan",
-    "Planner", "PreparedSelect", "Project", "Scan", "SingleRow", "Sort",
-    "ViewPlan", "explain_plan",
+    "Planner", "PreparedDML", "PreparedSelect", "Project", "Scan",
+    "SingleRow", "Sort", "ViewPlan", "explain_plan",
 ]
 
 
 class Planner:
-    """Plans SELECTs against the current catalog via the three layers."""
+    """Plans SELECTs and DML against the catalog via the three layers.
 
-    def __init__(self, catalog: Catalog, registry, stats=None):
+    ``naive=True`` builds reference plans with every optimization off
+    (see :class:`~repro.db.optimizer.Optimizer`); the differential test
+    harness uses it as the known-good executor.
+    """
+
+    def __init__(self, catalog: Catalog, registry, stats=None,
+                 naive: bool = False):
         self.catalog = catalog
         self.registry = registry
-        self.optimizer = Optimizer(catalog, stats=stats)
+        self.optimizer = Optimizer(catalog, stats=stats, naive=naive)
 
     # -- public entry points ----------------------------------------------
     def plan_select(self, select: ast.Select,
@@ -86,6 +94,28 @@ class Planner:
                               EMPTY_LABEL, [])
         self.optimizer.optimize(query)
         return self._lower(query)
+
+    def plan_dml(self, statement) -> PreparedDML:
+        """Plan an UPDATE/DELETE through the same three layers as SELECT.
+
+        The target scan comes out of the identical logical →
+        access-path-selection → lowering pipeline (so equality probes,
+        ``IndexRangeScan`` for range predicates, and stats-driven
+        costing all apply), but execution pulls ``versions()`` instead
+        of ``rows()``: the session needs the physical tuple versions to
+        stamp ``xmax`` and to run the write-rule equality check.
+        """
+        query = build_dml_logical(statement, self.catalog)
+        self.optimizer.optimize_dml(query)
+        plan = self._lower_entry(query.entry, query.scope)
+        assignments: List[Tuple[int, Callable]] = []
+        if isinstance(statement, ast.Update):
+            schema = query.entry.table.schema
+            compiler = self.compiler(query.scope)
+            for column, expr in statement.assignments:
+                assignments.append((schema.position(column),
+                                    compiler.compile(expr)))
+        return PreparedDML(plan, assignments)
 
     def compiler(self, scope: ex.Scope) -> ex.ExprCompiler:
         return ex.ExprCompiler(scope, catalog=self.catalog, planner=self)

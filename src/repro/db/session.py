@@ -395,7 +395,7 @@ class Session:
         schema = table.schema
         ifc = self.db.ifc_enabled
 
-        targets = list(prepared.scan.versions(self, ctx))
+        targets = list(prepared.plan.versions(ctx))
         count = 0
         key_positions = self._referenced_key_positions(table)
         for version in targets:
@@ -473,7 +473,7 @@ class Session:
         statement_label = acting_label
         ifc = self.db.ifc_enabled
 
-        targets = list(prepared.scan.versions(self, ctx))
+        targets = list(prepared.plan.versions(ctx))
         count = 0
         for version in targets:
             if ifc and not same_contamination(registry, version.label,

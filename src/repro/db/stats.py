@@ -168,11 +168,18 @@ class ColumnStats:
 
     def range_selectivity(self, low, high, include_low: bool = True,
                           include_high: bool = True) -> float:
-        """``low <op> col <op> high`` with either bound optional."""
+        """``low <op> col <op> high`` with either bound optional.
+
+        NULLs never satisfy a range predicate, so every path — the
+        histogram estimate *and* the defaults used when there is no
+        histogram (all-null column, incomparable types) — scales by the
+        non-null fraction; an all-null column estimates 0.
+        """
+        default = (DEFAULT_RANGE_SEL if low is None or high is None
+                   else DEFAULT_RANGE_SEL ** 2) * (1.0 - self.null_frac)
         hist = self.histogram
         if hist is None:
-            return (DEFAULT_RANGE_SEL if low is None or high is None
-                    else DEFAULT_RANGE_SEL ** 2)
+            return default
         hi_frac = 1.0
         if high is not None:
             hi_frac = hist.fraction_below(high, inclusive=include_high)
@@ -182,8 +189,7 @@ class ColumnStats:
             # exclusive bound) is what the range excludes.
             lo_frac = hist.fraction_below(low, inclusive=not include_low)
         if hi_frac is None or lo_frac is None:
-            return (DEFAULT_RANGE_SEL if low is None or high is None
-                    else DEFAULT_RANGE_SEL ** 2)
+            return default
         return max(hi_frac - lo_frac, 0.0) * (1.0 - self.null_frac)
 
     def __repr__(self):

@@ -446,9 +446,14 @@ class TPCCWorkload:
             if oldest is None:
                 continue
             o_id = oldest[0]
+            # Range-form consumption of the queue head (o_id is the
+            # minimum, so "<= o_id" deletes exactly that order): the
+            # DML planner serves the bound from neworder_by_district's
+            # ordered index instead of probing the equality prefix and
+            # filtering the district's whole pending queue.
             session.execute(
                 "DELETE FROM NewOrder WHERE no_w_id = ? AND no_d_id = ? "
-                "AND no_o_id = ?", (w_id, d_id, o_id))
+                "AND no_o_id <= ?", (w_id, d_id, o_id))
             order = session.execute(
                 "SELECT o_c_id FROM Orders WHERE o_w_id = ? AND o_d_id = ? "
                 "AND o_id = ?", (w_id, d_id, o_id)).first()

@@ -182,8 +182,39 @@ class TestExplain:
         rows = [r[0] for r in session.execute(
             "EXPLAIN UPDATE items SET price = 0 WHERE id = 3")]
         assert rows[0] == "Update items"
-        assert "DMLScan items using" in rows[1]
+        assert "IndexScan items using" in rows[1]
         assert "id = 3" in rows[1]
+
+    def test_explain_dml_shows_range_access_path(self, store):
+        # The acceptance shape for unified DML planning: a range
+        # predicate on an ordered-indexed column plans as an
+        # IndexRangeScan, with the optimizer's cost/row annotations.
+        _db, session = store
+        session.execute(
+            "CREATE ORDERED INDEX items_cat_price ON items "
+            "(category, price)")
+        rows = [r[0] for r in session.execute(
+            "EXPLAIN UPDATE items SET price = 0 WHERE "
+            "category = 'cat1' AND price BETWEEN 4 AND 9")]
+        assert rows[0] == "Update items"
+        assert "IndexRangeScan items using items_cat_price" in rows[1]
+        assert "price >= 4" in rows[1] and "price <= 9" in rows[1]
+        assert "(cost=" in rows[1] and "rows=" in rows[1]
+        rows = [r[0] for r in session.execute(
+            "EXPLAIN DELETE FROM items WHERE category = 'cat2' "
+            "AND price > 10")]
+        assert rows[0] == "Delete items"
+        assert "IndexRangeScan items using items_cat_price" in rows[1]
+        assert "price > 10" in rows[1]
+        assert "(cost=" in rows[1]
+
+    def test_explain_matches_executed_dml_plan(self, store):
+        db, session = store
+        sql = "UPDATE items SET price = price + 1 WHERE id = 3"
+        explain_rows = [r[0] for r in session.execute("EXPLAIN " + sql)]
+        prepared = db.prepare_dml(db.parse(sql), sql)
+        assert explain_rows == ["Update items"] \
+            + explain_plan(prepared.plan, indent=1)
 
     def test_explain_does_not_execute(self, store):
         db, session = store
@@ -192,6 +223,16 @@ class TestExplain:
         assert db.rows_updated == before
         assert session.query("SELECT COUNT(*) FROM items "
                              "WHERE price = 0")[0][0] == 1   # only id 0
+
+    def test_explain_delete_does_not_execute(self, store):
+        db, session = store
+        before_deleted = db.rows_deleted
+        before_count = session.query(
+            "SELECT COUNT(*) FROM items")[0][0]
+        session.execute("EXPLAIN DELETE FROM items WHERE id >= 0")
+        assert db.rows_deleted == before_deleted
+        assert session.query(
+            "SELECT COUNT(*) FROM items")[0][0] == before_count
 
 
 class TestPlanCache:
@@ -216,6 +257,27 @@ class TestPlanCache:
                        for n in walk(plan_for(db, sql)))
         assert [list(r) for r in session.query(sql)] == \
             [list(r) for r in before]
+
+    def test_dml_plans_replan_on_index_ddl(self, store):
+        db, session = store
+        sql = "UPDATE items SET price = price WHERE category = 'cat1'"
+        session.execute(sql)
+        plan = db.prepare_dml(db.parse(sql), sql).plan
+        assert not isinstance(plan, IndexScan)
+        session.execute("CREATE INDEX items_cat ON items (category)")
+        plan = db.prepare_dml(db.parse(sql), sql).plan
+        assert isinstance(plan, IndexScan)
+        assert plan.index.name == "items_cat"
+
+    def test_stats_refresh_evicts_dml_plans(self, store):
+        # DML plans are cost-based now, so a statistics refresh must
+        # evict them along with the SELECT plans reading the table.
+        db, session = store
+        sql = "UPDATE items SET price = price WHERE id = 1"
+        session.execute(sql)
+        assert sql in db._dml_cache
+        db.invalidate_plans_for("items")
+        assert sql not in db._dml_cache
 
     def test_epoch_covers_tag_registry_mutations(self, db, authority):
         session = db.connect()

@@ -422,3 +422,98 @@ class TestQueryByLabelUnaffected:
         rows = staff.query("SELECT patient_name FROM HIVPatients "
                            "WHERE patient_name >= 'A'")
         assert sorted(r[0] for r in rows) == ["Alice", "Bob", "Cathy"]
+
+
+class TestSelectivityProperties:
+    """Property-style checks of the estimator: seeded random columns,
+    hundreds of random bounds, and the invariants the cost model relies
+    on — estimates stay in [0, 1], widening a range never shrinks its
+    estimate, and degenerate columns (all-null, single-value) behave."""
+
+    @staticmethod
+    def _column_stats(values):
+        from repro.db.stats import ColumnStats
+        non_null = [v for v in values if v is not None]
+        null_frac = 1.0 - len(non_null) / len(values) if values else 0.0
+        return ColumnStats(len(set(non_null)), null_frac,
+                           min(non_null) if non_null else None,
+                           max(non_null) if non_null else None,
+                           Histogram.build(sorted(non_null)))
+
+    def _random_columns(self, rng, count=12):
+        columns = []
+        for _ in range(count):
+            n = rng.randint(1, 400)
+            shape = rng.choice(("uniform", "skewed", "dupes", "nulls"))
+            if shape == "uniform":
+                values = [rng.uniform(-100, 100) for _ in range(n)]
+            elif shape == "skewed":
+                values = [rng.expovariate(0.05) for _ in range(n)]
+            elif shape == "dupes":
+                values = [float(rng.randint(0, 5)) for _ in range(n)]
+            else:
+                values = [rng.uniform(0, 10) if rng.random() < 0.5
+                          else None for _ in range(n)]
+            columns.append(self._column_stats(values))
+        return columns
+
+    def test_estimates_always_in_unit_interval(self):
+        import random
+        rng = random.Random(0xD1FF)
+        for cs in self._random_columns(rng):
+            assert 0.0 <= cs.eq_selectivity() <= 1.0
+            for _ in range(50):
+                low = rng.uniform(-150, 150) if rng.random() < 0.8 else None
+                high = rng.uniform(-150, 150) if rng.random() < 0.8 else None
+                sel = cs.range_selectivity(
+                    low, high, include_low=rng.random() < 0.5,
+                    include_high=rng.random() < 0.5)
+                assert 0.0 <= sel <= 1.0, (low, high, sel)
+
+    def test_range_estimate_monotone_in_bound_widening(self):
+        import random
+        rng = random.Random(0xD1CE)
+        for cs in self._random_columns(rng):
+            for _ in range(30):
+                low = rng.uniform(-120, 120)
+                high = low + rng.uniform(0, 120)
+                base = cs.range_selectivity(low, high)
+                # Widening either bound never shrinks the estimate.
+                assert cs.range_selectivity(low - rng.uniform(0, 50),
+                                            high) >= base - 1e-12
+                assert cs.range_selectivity(
+                    low, high + rng.uniform(0, 50)) >= base - 1e-12
+                # Inclusive bounds cover at least what exclusive do.
+                assert cs.range_selectivity(low, high) >= \
+                    cs.range_selectivity(low, high, include_low=False,
+                                         include_high=False) - 1e-12
+
+    def test_fraction_below_monotone(self):
+        import random
+        rng = random.Random(99)
+        values = sorted([1.0] * 300
+                        + [rng.uniform(0, 50) for _ in range(300)])
+        hist = Histogram.build(values, buckets=16)
+        for inclusive in (True, False):
+            probes = sorted(rng.uniform(-5, 60) for _ in range(200))
+            fracs = [hist.fraction_below(p, inclusive=inclusive)
+                     for p in probes]
+            assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+    def test_all_null_column(self):
+        cs = self._column_stats([None] * 50)
+        assert cs.eq_selectivity() == 0.0
+        assert cs.range_selectivity(1.0, 2.0) == 0.0
+        assert cs.range_selectivity(None, 10.0) == 0.0
+        assert cs.histogram is None and cs.ndv == 0
+
+    def test_single_value_column(self):
+        cs = self._column_stats([7.0] * 80 + [None] * 20)
+        assert cs.eq_selectivity() == pytest.approx(0.8)
+        # A range containing the value captures the non-null mass...
+        assert cs.range_selectivity(0.0, 10.0) == pytest.approx(0.8)
+        assert cs.range_selectivity(7.0, 7.0) == pytest.approx(0.8)
+        # ... and ranges strictly beside it capture nothing.
+        assert cs.range_selectivity(None, 7.0, include_high=False) == 0.0
+        assert cs.range_selectivity(7.0, None, include_low=False) == 0.0
+        assert cs.range_selectivity(8.0, 9.0) == 0.0
