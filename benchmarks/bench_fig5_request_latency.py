@@ -18,7 +18,7 @@ from repro.bench import (
 )
 from repro.workloads import REQUEST_MIX
 
-from .common import SMOKE, report, smoke
+from .common import SMOKE, report, smoke, write_bench_json
 
 SCRIPTS = [path for path, _w in REQUEST_MIX]
 #: Figure 5's approximate bar heights (ms), for the comparison column.
@@ -68,6 +68,7 @@ def test_fig5_report(benchmark, stacks):
     weighted_ifdb = 0.0
     weights = dict(REQUEST_MIX)
     repeats = smoke(60, 8)
+    per_script = {}
     for path in SCRIPTS:
         # Interleaved, median-of-60 comparisons: the handlers run in
         # tens of microseconds, where scheduler noise swamps means.
@@ -82,12 +83,19 @@ def test_fig5_report(benchmark, stacks):
         paper_base, paper_ifdb = PAPER_MS[path]
         table.add(path, paper_base, paper_ifdb, "%.3f" % base_ms,
                   "%.3f" % ifdb_ms, relative(ifdb_ms, base_ms))
+        per_script[path] = {"base": base_ms, "ifdb": ifdb_ms}
         weighted_base += weights[path] * base_ms
         weighted_ifdb += weights[path] * ifdb_ms
     table.add("weighted mean", "", "(paper: +24%)",
               "%.3f" % weighted_base, "%.3f" % weighted_ifdb,
               relative(weighted_ifdb, weighted_base))
     report(table)
+    write_bench_json("fig5", {
+        "per_script_ms": per_script,
+        "weighted_mean_ms": {"base": weighted_base, "ifdb": weighted_ifdb},
+        "overhead": (weighted_ifdb / weighted_base - 1.0)
+        if weighted_base else None,
+    })
     # Shape assertions: IFDB costs more overall (skipped in smoke mode,
     # where the handful of repeats is pure noise).
     if not SMOKE:

@@ -16,10 +16,18 @@ so the perf scripts cannot silently rot.  Smoke runs never touch
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+#: Machine-readable benchmark outputs land at the repo root
+#: (``BENCH_<figure>.json``) so the perf trajectory is diffable across
+#: PRs and CI can upload them as artifacts.  Unlike ``results.txt``,
+#: these are written in smoke mode too (flagged, so nobody mistakes
+#: smoke numbers for measurements): CI needs the label-check counters
+#: even when the timings are meaningless.
+BENCH_JSON_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: True when running in smoke mode (tiny parameters, no results file).
 SMOKE = (os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -39,3 +47,15 @@ def report(table) -> None:
         return
     with open(RESULTS_PATH, "a") as handle:
         handle.write(text + "\n")
+
+
+def write_bench_json(figure: str, payload: dict) -> str:
+    """Write ``BENCH_<figure>.json`` at the repo root; returns the path."""
+    path = os.path.join(BENCH_JSON_ROOT, "BENCH_%s.json" % figure)
+    document = dict(payload)
+    document["figure"] = figure
+    document["smoke"] = SMOKE
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

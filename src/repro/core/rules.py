@@ -37,6 +37,37 @@ from .tags import TagRegistry
 _CACHE_CAP = 1 << 16
 
 
+class RuleCounters:
+    """Process-wide invocation counters for the label rules.
+
+    ``covers_calls``/``strip_calls`` count *invocations* of the two
+    hot-path predicates — including memo hits and plain-subset fast
+    paths — because what the paper's Query-by-Label cost is made of is
+    the per-tuple call itself (section 7.1).  The batched executor's
+    label-run amortization collapses one call per tuple into one call
+    per distinct label per batch, and the fig6 benchmark reads these
+    counters to prove it.  Counters are global (labels and registries
+    are process-wide too); measurements should diff before/after.
+    """
+
+    __slots__ = ("covers_calls", "strip_calls")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.covers_calls = 0
+        self.strip_calls = 0
+
+    def snapshot(self) -> dict:
+        return {"covers_calls": self.covers_calls,
+                "strip_calls": self.strip_calls}
+
+
+#: The module-wide counter instance (see :class:`RuleCounters`).
+COUNTERS = RuleCounters()
+
+
 class _RuleCache:
     """Memoized covers/strip verdicts for one registry version."""
 
@@ -67,6 +98,7 @@ def covers(registry: TagRegistry, low: Label, high: Label) -> bool:
     "``high`` covers ``low``": every tag of ``low`` appears in ``high``
     either directly or as a member of one of ``high``'s compound tags.
     """
+    COUNTERS.covers_calls += 1
     low_tags = low.tags
     if not low_tags:
         return True
@@ -138,6 +170,7 @@ def strip(registry: TagRegistry, label: Label, declassified: Label) -> Label:
     declassifying view strips the same (label, declassify) pair for
     every tuple it scans.
     """
+    COUNTERS.strip_calls += 1
     if not label.tags or not declassified.tags:
         return label
     memo = _cache_for(registry).strip

@@ -17,6 +17,7 @@ Two construction-time switches drive the benchmarks:
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,7 @@ from .catalog import (
 from .expressions import Scope
 from .pages import BufferCache
 from .physical import (
+    DEFAULT_BATCH_SIZE,
     PreparedDML,
     PreparedSelect,
     explain_plan,
@@ -90,7 +92,8 @@ class Database:
                  default_isolation: str = SNAPSHOT,
                  seed: Optional[int] = None,
                  clock: Optional[Callable[[], float]] = None,
-                 naive_plans: bool = False):
+                 naive_plans: bool = False,
+                 batch_size: Optional[int] = None):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -105,12 +108,23 @@ class Database:
         self.buffer_cache = BufferCache(capacity=buffer_pages,
                                         io_penalty=io_penalty)
         self.stats_manager = StatsManager(self)
+        # Execution batch size: ``None`` defers to the REPRO_BATCH_SIZE
+        # environment variable (CI runs the whole suite at 1 to prove
+        # batch boundaries can't change results), then the built-in
+        # default; 0 pins row-at-a-time execution.  Naive mode always
+        # pins row-at-a-time (see Optimizer.exec_batch_size).
+        if batch_size is None:
+            batch_size = int(os.environ.get("REPRO_BATCH_SIZE",
+                                            str(DEFAULT_BATCH_SIZE)))
+        self.batch_size = max(0, int(batch_size))
         # ``naive_plans`` forces reference plans (full scans, nested
-        # loops, no pushdown) — the differential harness's known-good
-        # executor; see Optimizer.naive.
+        # loops, no pushdown, row-at-a-time execution) — the
+        # differential harness's known-good executor; see
+        # Optimizer.naive.
         self.planner = Planner(self.catalog, self.authority.tags,
                                stats=self.stats_manager,
-                               naive=naive_plans)
+                               naive=naive_plans,
+                               batch_size=self.batch_size)
         self._parse_cache: Dict[str, object] = {}
         # Prepared-plan caches, keyed by SQL text (or statement identity
         # for programmatic statements); each entry is
@@ -500,12 +514,19 @@ class Database:
         return self.stats_manager.analyze(table_name)
 
     def vacuum(self, table_name: Optional[str] = None) -> int:
-        """Garbage-collect dead versions (exempt from label rules)."""
+        """Garbage-collect dead versions (exempt from label rules).
+
+        A full pass (no table name) also un-stalls the batched
+        executor's MVCC fast path: with every aborted-created version
+        reclaimed from every heap, the committed horizon may advance
+        past old rollbacks (see ``TransactionManager.committed_horizon``).
+        """
         if table_name is not None:
             return self.catalog.get_table(table_name).vacuum(self.txn_manager)
         removed = 0
         for table in self.catalog.tables.values():
             removed += table.vacuum(self.txn_manager)
+        self.txn_manager.aborted_reclaimed()
         return removed
 
     # ------------------------------------------------------------------

@@ -722,7 +722,11 @@ class ExprCompiler:
     def _plan_subquery(self, select, *, scalar: bool):
         if self.planner is None:
             raise DatabaseError("subqueries are not supported here")
-        prepared = self.planner.plan_select(select, outer_scope=self.scope)
+        # Row-at-a-time on purpose: EXISTS/IN/scalar consumers pull one
+        # or two rows and stop; a batched subplan would materialize a
+        # whole RowBatch per probe (see Planner.plan_select).
+        prepared = self.planner.plan_select(select, outer_scope=self.scope,
+                                            batched=False)
         return prepared.plan
 
     def _c_exists(self, node: Exists):
@@ -891,6 +895,119 @@ def collect_aggregates(node: Expr, out: List[Aggregate]) -> None:
                     for x in item:
                         if isinstance(x, Expr):
                             collect_aggregates(x, out)
+
+
+def reads_columns_only(node: Expr) -> bool:
+    """True when the expression can be evaluated against a bare tuple.
+
+    A scan's predicate row is ``list(version.values) + [label]`` — the
+    base columns plus the ``_label`` pseudo-column appended at the end.
+    When the predicate references only real columns (positions are
+    identical with or without the appended label), the executor can run
+    it directly on ``version.values`` and skip the per-tuple list copy
+    for rows the predicate rejects.  Conservative: any ``_label``
+    reference, ``*``, or subquery (whose correlated references receive
+    the row via ``ctx.outer_stack`` and could reach the label slot)
+    disqualifies the expression.
+    """
+    if isinstance(node, (Exists, InSelect, ScalarSelect, Star)):
+        return False
+    if isinstance(node, ColumnRef):
+        return node.name != "_label"
+    for attr in getattr(node, "__slots__", ()):
+        child = getattr(node, attr)
+        if isinstance(child, Expr):
+            if not reads_columns_only(child):
+                return False
+        elif isinstance(child, tuple):
+            for item in child:
+                if isinstance(item, Expr):
+                    if not reads_columns_only(item):
+                        return False
+                elif isinstance(item, tuple):
+                    for x in item:
+                        if isinstance(x, Expr) and \
+                                not reads_columns_only(x):
+                            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation (vectorized executor)
+# ---------------------------------------------------------------------------
+
+def compile_batch(compiler: "ExprCompiler", node: Expr) -> Callable:
+    """Compile ``node`` to a *batch* closure ``fn(rows, ctx) -> list``.
+
+    The returned function evaluates the expression for every row of a
+    batch at once, returning one value per row.  Leaves and the common
+    predicate shapes (column/slot references, comparisons, ``AND``,
+    ``IS NULL``) get tight list-comprehension forms; everything else
+    falls back to mapping the ordinary row closure from
+    :meth:`ExprCompiler.compile` over the batch, so batch compilation
+    can never change semantics — only the loop shape.
+
+    ``AND`` keeps the row compiler's short-circuit contract: later
+    conjuncts are evaluated only for rows still alive (not yet FALSE),
+    so an expression like ``x <> 0 AND 10 / x > 2`` raises for exactly
+    the rows the row-at-a-time executor would have raised for.
+    """
+    if isinstance(node, Literal):
+        value = node.value
+        return lambda rows, ctx: [value] * len(rows)
+    if isinstance(node, Param):
+        row_fn = compiler.compile(node)
+        return lambda rows, ctx: [row_fn([], ctx)] * len(rows)
+    if isinstance(node, ColumnRef):
+        depth, index = compiler.scope.resolve_depth(node.name, node.table)
+        if depth == 0:
+            return lambda rows, ctx: [row[index] for row in rows]
+        def outer(rows, ctx, depth=depth, index=index):
+            return [ctx.outer_stack[-depth][index]] * len(rows)
+        return outer
+    if isinstance(node, (SlotRef, AggSlotRef)):
+        index = node.slot
+        return lambda rows, ctx: [row[index] for row in rows]
+    if isinstance(node, IsNull):
+        operand = compile_batch(compiler, node.operand)
+        if node.negated:
+            return lambda rows, ctx: [v is not None
+                                      for v in operand(rows, ctx)]
+        return lambda rows, ctx: [v is None for v in operand(rows, ctx)]
+    if isinstance(node, Compare):
+        fn = _CMP_FUNCS[node.op]
+        left = compile_batch(compiler, node.left)
+        right = compile_batch(compiler, node.right)
+        def compare(rows, ctx):
+            return [None if lv is None or rv is None else fn(lv, rv)
+                    for lv, rv in zip(left(rows, ctx), right(rows, ctx))]
+        return compare
+    if isinstance(node, And):
+        parts = [compile_batch(compiler, item) for item in node.items]
+        def conjunction(rows, ctx):
+            n = len(rows)
+            result: list = [True] * n
+            alive = list(range(n))
+            for part in parts:
+                if not alive:
+                    break
+                sub = [rows[i] for i in alive]
+                vals = part(sub, ctx)
+                survivors = []
+                for j, i in enumerate(alive):
+                    value = vals[j]
+                    if value is None:
+                        result[i] = None
+                        survivors.append(i)    # a later FALSE still wins
+                    elif not value:
+                        result[i] = False
+                    else:
+                        survivors.append(i)
+                alive = survivors
+            return result
+        return conjunction
+    row_fn = compiler.compile(node)
+    return lambda rows, ctx: [row_fn(row, ctx) for row in rows]
 
 
 def rewrite(node: Expr, mapping: Dict[Expr, Expr]) -> Expr:

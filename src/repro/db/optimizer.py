@@ -464,6 +464,18 @@ class Optimizer:
         self.stats = stats                   # StatsManager or None
         self.naive = naive
 
+    def exec_batch_size(self, requested: int) -> int:
+        """Execution batch size for plans this optimizer produces.
+
+        Naive mode pins row-at-a-time execution (batch size 0): the
+        reference executor must drive one ``covers``/``visible`` check
+        per tuple so the differential harness cross-checks the batched
+        executor's amortizations — label-run memoization, the MVCC
+        batch fast path, page-run touch accounting — against per-tuple
+        ground truth, not against themselves.
+        """
+        return 0 if self.naive else requested
+
     def optimize_dml(self, query: LogicalDML) -> LogicalDML:
         """Annotate an UPDATE/DELETE target with its access path.
 

@@ -109,6 +109,38 @@ class BufferCache:
             self.stats.evictions += 1
         return False
 
+    def touch_run(self, table: str, page_id: int, count: int) -> bool:
+        """Access the same page ``count`` times with one frame operation.
+
+        Heap tuples are laid out consecutively, so a scan batch touches
+        each page in a *run*; this charges the run with exactly the
+        counters ``count`` sequential :meth:`touch` calls would have
+        produced — a resident page yields ``count`` hits, an absent page
+        one miss (with its I/O penalty) followed by ``count - 1`` hits,
+        and at most one insertion/eviction — while doing a single dict
+        probe.  ``hit_rate()`` is therefore identical between the
+        batched and row-at-a-time executors.
+        """
+        if count <= 0:
+            return True
+        if self.capacity is None:
+            self.stats.hits += count
+            return True
+        key = (table, page_id)
+        frames = self._frames
+        if key in frames:
+            frames.move_to_end(key)
+            self.stats.hits += count
+            return True
+        self.stats.misses += 1
+        self.stats.io_time += self.io_penalty
+        self.stats.hits += count - 1
+        frames[key] = None
+        if len(frames) > self.capacity:
+            frames.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
     def reset(self) -> None:
         """Drop all frames and zero the statistics."""
         self._frames.clear()

@@ -62,6 +62,7 @@ from .physical import (
     Sort,
     ViewPlan,
     explain_plan,
+    stamp_batch_size,
 )
 
 __all__ = [
@@ -82,18 +83,32 @@ class Planner:
     """
 
     def __init__(self, catalog: Catalog, registry, stats=None,
-                 naive: bool = False):
+                 naive: bool = False, batch_size: int = 0):
         self.catalog = catalog
         self.registry = registry
         self.optimizer = Optimizer(catalog, stats=stats, naive=naive)
+        #: Execution batch size stamped onto lowered plans; the
+        #: optimizer pins it to 0 (row-at-a-time) in naive mode so the
+        #: differential harness's reference executor stays per-tuple.
+        self.batch_size = self.optimizer.exec_batch_size(batch_size)
 
     # -- public entry points ----------------------------------------------
     def plan_select(self, select: ast.Select,
-                    outer_scope: Optional[ex.Scope] = None) -> PreparedSelect:
+                    outer_scope: Optional[ex.Scope] = None,
+                    batched: bool = True) -> PreparedSelect:
+        """Plan a SELECT.  ``batched=False`` skips the batch stamping:
+        expression-embedded subqueries (EXISTS, IN, scalar) pass it
+        because their consumers short-circuit — EXISTS stops at the
+        first row, a scalar subquery at the second — and draining a
+        whole RowBatch per probe would throw that away.
+        """
         query = build_logical(select, self.catalog, outer_scope,
                               EMPTY_LABEL, [])
         self.optimizer.optimize(query)
-        return self._lower(query)
+        prepared = self._lower(query)
+        if batched:
+            stamp_batch_size(prepared.plan, self.batch_size)
+        return prepared
 
     def plan_dml(self, statement) -> PreparedDML:
         """Plan an UPDATE/DELETE through the same three layers as SELECT.
@@ -108,6 +123,7 @@ class Planner:
         query = build_dml_logical(statement, self.catalog)
         self.optimizer.optimize_dml(query)
         plan = self._lower_entry(query.entry, query.scope)
+        stamp_batch_size(plan, self.batch_size)
         assignments: List[Tuple[int, Callable]] = []
         if isinstance(statement, ast.Update):
             schema = query.entry.table.schema
@@ -144,7 +160,9 @@ class Planner:
 
     def _filter(self, child: Plan, conjunct: ex.Expr,
                 compiler: ex.ExprCompiler) -> Plan:
-        plan = Filter(child, compiler.compile(conjunct))
+        plan = Filter(child, compiler.compile(conjunct),
+                      batch_predicate=ex.compile_batch(compiler, conjunct)
+                      if self.batch_size else None)
         plan.explain = "Filter (%s)" % ex.to_sql(conjunct)
         if child.est_rows is not None:
             plan.est_rows = child.est_rows * DEFAULT_SEL
@@ -179,6 +197,18 @@ class Planner:
         return compiler.compile(ex.And(conjuncts))
 
     @staticmethod
+    def _on_values(conjuncts: List[ex.Expr]) -> bool:
+        """May the scan predicate run on the bare stored tuple?
+
+        True when every conjunct references only real columns (no
+        ``_label``, no subqueries), so the scan can evaluate it against
+        ``version.values`` and skip the output-row copy for rejected
+        rows — in every mode, and entirely on predicate-free paths.
+        """
+        return bool(conjuncts) and all(ex.reads_columns_only(c)
+                                       for c in conjuncts)
+
+    @staticmethod
     def _relation(entry: SourceEntry) -> str:
         name = entry.relation_name or entry.alias
         if entry.alias != name:
@@ -207,7 +237,9 @@ class Planner:
             key_fns = [local_compiler.compile(e) for e in access.key_exprs]
             predicate = self._conjunction(access.residual, local_compiler)
             plan = IndexScan(entry.table, access.index, key_fns, predicate,
-                             entry.declass, entry.view_grants)
+                             entry.declass, entry.view_grants,
+                             predicate_on_values=self._on_values(
+                                 access.residual))
             plan.explain = "IndexScan %s using %s (%s)%s" % (
                 self._relation(entry), access.index.name,
                 self._key_text(access.key_columns, access.key_exprs),
@@ -223,7 +255,9 @@ class Planner:
             plan = IndexRangeScan(entry.table, access.index, eq_fns,
                                   low_fn, high_fn, access.include_low,
                                   access.include_high, predicate,
-                                  entry.declass, entry.view_grants)
+                                  entry.declass, entry.view_grants,
+                                  predicate_on_values=self._on_values(
+                                      access.residual))
             plan.explain = "IndexRangeScan %s using %s (%s)%s" % (
                 self._relation(entry), access.index.name,
                 self._range_key_text(access),
@@ -232,7 +266,8 @@ class Planner:
         conjuncts = access.conjuncts if isinstance(access, FullScanAccess) \
             else list(entry.pushed)
         predicate = self._conjunction(conjuncts, local_compiler)
-        plan = Scan(entry.table, predicate, entry.declass, entry.view_grants)
+        plan = Scan(entry.table, predicate, entry.declass, entry.view_grants,
+                    predicate_on_values=self._on_values(conjuncts))
         plan.explain = "Scan %s%s" % (self._relation(entry),
                                       self._filter_text(conjuncts))
         return self._annotate(plan, entry.est_rows, entry.est_cost)
@@ -315,15 +350,18 @@ class Planner:
         if has_aggregates:
             plan, post_compiler, rewrite_map = self._plan_aggregation(
                 select, plan, compiler, items)
-            out_fns = [post_compiler.compile(ex.rewrite(expr, rewrite_map))
-                       for expr, _ in items]
+            out_exprs = [ex.rewrite(expr, rewrite_map) for expr, _ in items]
+            out_fns = [post_compiler.compile(expr) for expr in out_exprs]
+            out_compiler = post_compiler
             if select.having is not None:
                 having = ex.rewrite(select.having, rewrite_map)
                 plan = self._filter(plan, having, post_compiler)
             order_compiler = post_compiler
             order_rewrite = rewrite_map
         else:
-            out_fns = [compiler.compile(expr) for expr, _ in items]
+            out_exprs = [expr for expr, _ in items]
+            out_fns = [compiler.compile(expr) for expr in out_exprs]
+            out_compiler = compiler
             if select.having is not None:
                 raise DatabaseError("HAVING requires GROUP BY or aggregates")
             order_compiler = compiler
@@ -349,7 +387,9 @@ class Planner:
             self._passthrough(sort, plan)
             plan = sort
 
-        project = Project(plan, out_fns)
+        batch_fns = [ex.compile_batch(out_compiler, expr)
+                     for expr in out_exprs] if self.batch_size else None
+        project = Project(plan, out_fns, batch_fns=batch_fns)
         project.explain = "Project [%s]" % ", ".join(names)
         self._passthrough(project, plan)
         plan = project

@@ -295,8 +295,17 @@ class Session:
         with self._autocommit():
             ctx = self._context(params)
             columns = {name: i for i, name in enumerate(prepared.columns)}
-            rows = [Row(values, columns, label)
-                    for values, label, _ilabel in plan.rows(ctx)]
+            if plan.batch_size:
+                # Batched plan: drain whole RowBatches from the root
+                # instead of pulling the per-row compatibility shim.
+                rows = []
+                extend = rows.extend
+                for batch in plan.batches(ctx):
+                    extend(Row(values, columns, label) for values, label
+                           in zip(batch.values, batch.labels))
+            else:
+                rows = [Row(values, columns, label)
+                        for values, label, _ilabel in plan.rows(ctx)]
         return Result(list(prepared.columns), rows, len(rows))
 
     # -- INSERT -----------------------------------------------------------
@@ -310,8 +319,13 @@ class Session:
 
         source_rows: Iterable[Sequence]
         if prepared.select is not None:
-            source_rows = [values for values, _l, _i
-                           in prepared.select.plan.rows(ctx)]
+            select_plan = prepared.select.plan
+            if select_plan.batch_size:
+                source_rows = [values for batch in select_plan.batches(ctx)
+                               for values in batch.values]
+            else:
+                source_rows = [values for values, _l, _i
+                               in select_plan.rows(ctx)]
         else:
             source_rows = [[fn([], ctx) for fn in row]
                            for row in prepared.row_fns]

@@ -98,6 +98,14 @@ class Table:
         """Charge a page access for examining this version."""
         self._buffer_cache.touch(self.name, version.page_id)
 
+    def touch_run(self, page_id: int, count: int) -> None:
+        """Charge ``count`` accesses to one page (a batch's page run).
+
+        Counter-for-counter identical to ``count`` :meth:`touch` calls
+        on consecutive versions of the same page — see
+        :meth:`~repro.db.pages.BufferCache.touch_run`."""
+        self._buffer_cache.touch_run(self.name, page_id, count)
+
     def append(self, values: Tuple, label: Label, ilabel: Label,
                xid: int) -> TupleVersion:
         """Write a new version into the heap and all indexes."""
@@ -123,6 +131,25 @@ class Table:
         for version in self._versions:
             if version is not None:
                 yield version
+
+    def all_versions_batched(self, size: int) -> Iterator[List[TupleVersion]]:
+        """Live heap versions in lists of up to ``size``.
+
+        The batch granularity of the vectorized scan: slicing the
+        version array and filtering the vacuumed holes in one list
+        comprehension is markedly cheaper than driving a per-version
+        generator, which is the point of batch-at-a-time execution.
+        The loop re-reads ``len()`` so versions appended mid-scan are
+        still reached, matching :meth:`all_versions` semantics.
+        """
+        versions = self._versions
+        start = 0
+        while start < len(versions):
+            chunk = [v for v in versions[start:start + size]
+                     if v is not None]
+            start += size
+            if chunk:
+                yield chunk
 
     def versions_for_tids(self, tids) -> Iterator[TupleVersion]:
         versions = self._versions

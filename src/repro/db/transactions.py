@@ -33,11 +33,16 @@ SERIALIZABLE = "serializable"  # enables the clearance rule
 class Snapshot:
     """The set of transaction effects visible to a transaction."""
 
-    __slots__ = ("xmax", "in_progress")
+    __slots__ = ("xmax", "in_progress", "min_in_progress")
 
     def __init__(self, xmax: int, in_progress: frozenset):
         self.xmax = xmax                  # first xid NOT visible
         self.in_progress = in_progress    # xids live when snapshot was taken
+        #: Smallest in-flight xid at snapshot time (None when none were):
+        #: any xmin below it is definitely not in ``in_progress``, which
+        #: lets the batched executor's MVCC fast path avoid the set
+        #: membership test per tuple (see ``committed_horizon``).
+        self.min_in_progress = min(in_progress) if in_progress else None
 
     def sees_xid(self, xid: int, status: str) -> bool:
         """Did ``xid`` commit before this snapshot was taken?"""
@@ -104,6 +109,12 @@ class TransactionManager:
         self._active: Set[int] = set()
         self.commits = 0
         self.aborts = 0
+        self._committed_prefix = 1     # see committed_horizon()
+        #: Aborted xids whose heap versions may still exist.  A full
+        #: database vacuum removes every aborted-created version, so it
+        #: clears this set (``aborted_reclaimed``), letting the
+        #: committed horizon advance past old rollbacks.
+        self._aborted_unreclaimed: Set[int] = set()
 
     # -- lifecycle -----------------------------------------------------
     def begin(self, isolation: str = SNAPSHOT) -> Transaction:
@@ -140,6 +151,7 @@ class TransactionManager:
         txn.status = ABORTED
         self._status[txn.xid] = ABORTED
         self._active.discard(txn.xid)
+        self._aborted_unreclaimed.add(txn.xid)
         self.aborts += 1
 
     # -- status queries -------------------------------------------------
@@ -151,6 +163,42 @@ class TransactionManager:
 
     def is_aborted(self, xid: int) -> bool:
         return self._status.get(xid, ABORTED) == ABORTED
+
+    def committed_horizon(self) -> int:
+        """First xid not safe to skip per-row checks for (amortized O(1)).
+
+        Every xid strictly below the returned value is either COMMITTED
+        or an aborted transaction with no surviving heap versions, so a
+        tuple version with ``xmin`` below it (and below the snapshot's
+        ``xmax`` and ``min_in_progress``) is created-visible without
+        consulting per-xid status — the precondition of the batched
+        executor's whole-batch MVCC fast path.  The pointer only moves
+        forward; it stalls at the oldest active xid, or at an aborted
+        xid whose dead versions may still linger in a heap (the fast
+        path must not reach past those — such batches fall back to
+        per-row :meth:`visible`).  A full database vacuum reclaims
+        every aborted-created version and calls
+        :meth:`aborted_reclaimed`, un-stalling the horizon.
+        """
+        ptr = self._committed_prefix
+        status = self._status
+        unreclaimed = self._aborted_unreclaimed
+        while True:
+            verdict = status.get(ptr)
+            if verdict == COMMITTED or (verdict == ABORTED
+                                        and ptr not in unreclaimed):
+                ptr += 1
+            else:
+                break
+        self._committed_prefix = ptr
+        return ptr
+
+    def aborted_reclaimed(self) -> None:
+        """Every aborted-created heap version has been vacuumed away
+        (a *full* database vacuum just finished), so aborted xids no
+        longer pin the committed horizon.  An aborted transaction can
+        never write again, and new aborts re-enter the set."""
+        self._aborted_unreclaimed.clear()
 
     def oldest_active_xid(self) -> int:
         """Horizon for vacuum: versions dead before this are reclaimable."""

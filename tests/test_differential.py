@@ -50,11 +50,18 @@ KINDS = ("temp", "gps", "speed", "fuel")
 
 
 class Universe:
-    """One database plus a public (empty-label) and a secret session."""
+    """One database plus a public (empty-label) and a secret session.
 
-    def __init__(self, *, naive: bool):
+    ``batch_size`` (optimized universe only; the naive reference always
+    runs row-at-a-time) exercises the batched executor at arbitrary
+    batch boundaries — ``None`` means the engine default / the
+    ``REPRO_BATCH_SIZE`` environment override.
+    """
+
+    def __init__(self, *, naive: bool, batch_size=None):
         authority = AuthorityState(idgen=SeededIdGenerator(777))
-        self.db = Database(authority, naive_plans=naive, seed=777)
+        self.db = Database(authority, naive_plans=naive, seed=777,
+                           batch_size=batch_size)
         owner = authority.create_principal("owner")
         self.tag = authority.create_tag("diff-secret", owner=owner.id)
         secret = IFCProcess(authority, owner.id)
@@ -217,11 +224,12 @@ def _plan_shapes(db) -> set:
     return shapes
 
 
-def _run_differential(seed: int, n_statements: int) -> None:
+def _run_differential(seed: int, n_statements: int,
+                      batch_size=None) -> None:
     tag = "[REPRO_DIFF_SEED=%d]" % seed
     rng = random.Random(seed)
     gen = StatementGenerator(rng)
-    optimized = Universe(naive=False)
+    optimized = Universe(naive=False, batch_size=batch_size)
     reference = Universe(naive=True)
     universes = (optimized, reference)
     _populate(universes, gen)
@@ -264,3 +272,17 @@ def test_differential_shifted_seed():
     """A short independent run on a derived seed, so a single lucky
     seed cannot hide a divergence class entirely."""
     _run_differential(SEED ^ 0x5EED, 150)
+
+
+def test_differential_batch_size_one():
+    """Degenerate one-row batches: every batch boundary that can exist
+    does exist, so any result that depends on where a batch ends (the
+    label-run memo, the MVCC fast path, limit/offset slicing) diverges
+    from the row-at-a-time reference here."""
+    _run_differential(SEED ^ 0xBA7C1, 150, batch_size=1)
+
+
+def test_differential_batch_size_two():
+    """Two-row batches: the smallest size where a batch can actually
+    mix labels, visibilities, and predicate outcomes."""
+    _run_differential(SEED ^ 0xBA7C2, 150, batch_size=2)
