@@ -31,6 +31,7 @@ from ..errors import DatabaseError
 from .catalog import ViewDef
 from .engine import Database
 from .indexes import OrderedIndex
+from .spill import decode_labeled_row, encode_labeled_row
 
 FORMAT = "ifdb-dump-v1"
 
@@ -45,8 +46,11 @@ def dump_database(db: Database) -> bytes:
             for version in table.all_versions():
                 if not db.txn_manager.visible(version, txn):
                     continue
-                rows.append((version.values, tuple(version.label.tags),
-                             tuple(version.ilabel.tags)))
+                # The labeled-row codec is shared with the hash-join
+                # spill files (repro.db.spill).
+                rows.append(encode_labeled_row(version.values,
+                                               version.label,
+                                               version.ilabel))
             extra_indexes = []
             auto = {index.name for _u, index in table.unique_indexes}
             for index_name, index in table.indexes.items():
@@ -118,10 +122,9 @@ def restore_database(data: bytes, db: Database) -> None:
     try:
         for name in payload["table_order"]:
             table = db.catalog.get_table(name)
-            for values, label_tags, ilabel_tags in \
-                    payload["tables"][name]["rows"]:
-                table.append(tuple(values), Label(label_tags),
-                             Label(ilabel_tags), txn.xid)
+            for record in payload["tables"][name]["rows"]:
+                values, label, ilabel = decode_labeled_row(record)
+                table.append(tuple(values), label, ilabel, txn.xid)
         db.txn_manager.commit(txn)
     except BaseException:
         db.txn_manager.abort(txn)

@@ -93,7 +93,8 @@ class Database:
                  seed: Optional[int] = None,
                  clock: Optional[Callable[[], float]] = None,
                  naive_plans: bool = False,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 work_mem: Optional[int] = None):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -117,6 +118,15 @@ class Database:
             batch_size = int(os.environ.get("REPRO_BATCH_SIZE",
                                             str(DEFAULT_BATCH_SIZE)))
         self.batch_size = max(0, int(batch_size))
+        # Per-operator memory budget in bytes for memory-bounded
+        # operators (hash-join builds): ``None`` defers to the
+        # ``REPRO_WORK_MEM`` environment variable (CI runs a tier-1
+        # job at 1024 to force grace spilling everywhere), then
+        # unbounded (0).  The executor reads the live value per
+        # statement; the optimizer costs expected spilling with it.
+        if work_mem is None:
+            work_mem = int(os.environ.get("REPRO_WORK_MEM", "0"))
+        self.work_mem = max(0, int(work_mem))
         # ``naive_plans`` forces reference plans (full scans, nested
         # loops, no pushdown, row-at-a-time execution) — the
         # differential harness's known-good executor; see
@@ -124,7 +134,8 @@ class Database:
         self.planner = Planner(self.catalog, self.authority.tags,
                                stats=self.stats_manager,
                                naive=naive_plans,
-                               batch_size=self.batch_size)
+                               batch_size=self.batch_size,
+                               work_mem=self.work_mem)
         self._parse_cache: Dict[str, object] = {}
         # Prepared-plan caches, keyed by SQL text (or statement identity
         # for programmatic statements); each entry is
@@ -533,8 +544,14 @@ class Database:
     # statistics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
+        from .spill import SPILL_STATS
         cache = self.buffer_cache.stats
         return {
+            # Process-wide, like rules.COUNTERS (labels and spill temp
+            # files are process resources): with several Database
+            # instances in one process this aggregates across them —
+            # diff before/after around the work of interest.
+            "spill": SPILL_STATS.snapshot(),
             "statements": self.statements_executed,
             "rows_inserted": self.rows_inserted,
             "rows_updated": self.rows_updated,

@@ -18,6 +18,32 @@ import bisect
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
+class IndexCounters:
+    """Process-wide index-probe counters (diff before/after, like
+    ``rules.COUNTERS``).  ``lookups`` counts equality probes
+    (:meth:`HashIndex.lookup` / :meth:`OrderedIndex.lookup`),
+    ``range_scans`` ordered-range scans.  The batched
+    ``IndexLoopJoin`` dedupes duplicate outer keys to one probe per
+    distinct key per batch; the join microbenchmark diffs these
+    counters to prove it."""
+
+    __slots__ = ("lookups", "range_scans")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.range_scans = 0
+
+    def snapshot(self) -> dict:
+        return {"lookups": self.lookups, "range_scans": self.range_scans}
+
+
+#: The module-wide counter instance (see :class:`IndexCounters`).
+COUNTERS = IndexCounters()
+
+
 class HashIndex:
     """Equality index: key tuple -> list of tids."""
 
@@ -39,6 +65,7 @@ class HashIndex:
         self._map.setdefault(self.key_of(values), []).append(tid)
 
     def lookup(self, key: Tuple) -> List[int]:
+        COUNTERS.lookups += 1
         return self._map.get(key, [])
 
     def remove(self, values: Tuple, tid: int) -> None:
@@ -86,6 +113,7 @@ class OrderedIndex:
     def lookup(self, key: Tuple) -> List[int]:
         """All tids whose key starts with ``key`` (exact match when the
         key covers every indexed column)."""
+        COUNTERS.lookups += 1
         return list(self.scan_prefix(key))
 
     def scan_prefix(self, prefix: Tuple) -> Iterator[int]:
@@ -102,6 +130,7 @@ class OrderedIndex:
                    *, include_low: bool = True,
                    include_high: bool = True) -> Iterator[int]:
         """Tids with ``low <= key <= high`` (bounds optional), in order."""
+        COUNTERS.range_scans += 1
         entries = self._entries
         if low is None:
             start = 0

@@ -55,6 +55,7 @@ from ..errors import CatalogError, DatabaseError
 from . import expressions as ex
 from .logical import LogicalDML, LogicalQuery, SourceEntry, \
     collect_columns, relayout, split_conjuncts
+from .spill import estimate_spill_plan, estimated_tuple_bytes
 from .stats import (
     DEFAULT_DERIVED_ROWS,
     DEFAULT_EQ_SEL,
@@ -74,6 +75,12 @@ COST_ROW = 1.0
 COST_PROBE = 1.2
 #: Cost of inserting one row into a hash-join build table.
 COST_BUILD_ROW = 1.5
+#: Cost of spilling one row through one grace-partition level: a write
+#: to the spool plus the read back (both build and probe rows pay it).
+#: Charging it makes a budget-breaking hash join visibly expensive, so
+#: the optimizer prefers an index-nested-loop (no build memory) — or a
+#: smaller build side — when ``work_mem`` is tight.
+COST_SPILL_ROW = 0.4
 #: Tables are never costed below this many rows: a plan cached while a
 #: table is still empty must not lock in a full scan that a few inserts
 #: later would be wrong (inserts do not bump the plan-cache epoch).
@@ -237,13 +244,21 @@ class IndexJoinChoice:
 
 @dataclass
 class HashJoinChoice:
-    """Equi-join: build on right columns, probe with left expressions."""
+    """Equi-join: build on right columns, probe with left expressions.
+
+    ``est_mem`` is the expected peak resident build size in bytes (the
+    per-partition share when the build is expected to spill) and
+    ``est_spill_partitions`` the expected grace leaf-partition count
+    (0: fits ``work_mem``); both are planner annotations for EXPLAIN.
+    """
 
     left_exprs: List[ex.Expr]
     right_columns: List[str]
     residual: List[ex.Expr]
     est_rows: Optional[float] = None
     est_cost: Optional[float] = None
+    est_mem: Optional[float] = None
+    est_spill_partitions: int = 0
 
 
 @dataclass
@@ -251,6 +266,7 @@ class NestedJoinChoice:
     residual: List[ex.Expr]
     est_rows: Optional[float] = None
     est_cost: Optional[float] = None
+    est_mem: Optional[float] = None              # materialized inner side
 
 
 # ---------------------------------------------------------------------------
@@ -459,10 +475,15 @@ class Optimizer:
     or touches, only how fast it finds it.
     """
 
-    def __init__(self, catalog, stats=None, naive: bool = False):
+    def __init__(self, catalog, stats=None, naive: bool = False,
+                 work_mem: int = 0):
         self.catalog = catalog
         self.stats = stats                   # StatsManager or None
         self.naive = naive
+        #: Per-operator memory budget in bytes (0 = unbounded).  The
+        #: optimizer only *costs* spilling with it — the executor reads
+        #: the live budget from the database at run time.
+        self.work_mem = work_mem
 
     def exec_batch_size(self, requested: int) -> int:
         """Execution batch size for plans this optimizer produces.
@@ -910,6 +931,18 @@ class Optimizer:
             out_rows = max(out_rows, left_rows)
         hash_cost = left_cost + right_cost + COST_BUILD_ROW * right_rows \
             + COST_ROW * left_rows + COST_ROW * out_rows
+        # Memory budget: a build side expected to exceed work_mem pays
+        # one spool write + read per row per grace level — on build
+        # *and* probe rows — which is exactly what makes the optimizer
+        # prefer an index join (no build memory) or a smaller build
+        # side when the budget is tight.
+        row_bytes = estimated_tuple_bytes(len(entry.columns))
+        build_bytes = right_rows * row_bytes
+        spill_partitions, part_bytes, spill_levels = estimate_spill_plan(
+            build_bytes, self.work_mem)
+        if spill_partitions:
+            hash_cost += COST_SPILL_ROW * spill_levels \
+                * (right_rows + left_rows)
 
         if table is not None and eq_pairs and kind in ("inner", "left"):
             index, n_keys = best_index(table, {c for c, _ in eq_pairs})
@@ -955,7 +988,9 @@ class Optimizer:
             entry.join = HashJoinChoice(
                 left_exprs=[e for _, e in eq_pairs],
                 right_columns=[c for c, _ in eq_pairs],
-                residual=residual, est_rows=out_rows, est_cost=hash_cost)
+                residual=residual, est_rows=out_rows, est_cost=hash_cost,
+                est_mem=part_bytes,
+                est_spill_partitions=spill_partitions)
             return
         nested_out = left_rows * right_rows * DEFAULT_SEL ** len(residual)
         if kind == "left":
@@ -963,4 +998,5 @@ class Optimizer:
         entry.join = NestedJoinChoice(
             residual=residual, est_rows=nested_out,
             est_cost=left_cost + right_cost
-            + COST_ROW * left_rows * max(right_rows, 1.0))
+            + COST_ROW * left_rows * max(right_rows, 1.0),
+            est_mem=right_rows * row_bytes)

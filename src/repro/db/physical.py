@@ -62,6 +62,7 @@ from ..core.labels import EMPTY_LABEL, Label
 from ..core.rules import covers, strip
 from ..errors import AuthorityError
 from .catalog import ViewDef
+from .spill import BUCKET_ENTRY_BYTES, SpilledHashBuild, estimate_row_bytes
 from .storage import Table
 
 ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
@@ -116,7 +117,7 @@ class ExecContext:
 
     __slots__ = ("session", "params", "outer_stack", "read_label",
                  "read_ilabel", "principal", "registry", "authority",
-                 "ifc_enabled")
+                 "ifc_enabled", "work_mem")
 
     def __init__(self, session, params: tuple, read_label: Label,
                  read_ilabel: Label, principal: Optional[int]):
@@ -129,6 +130,11 @@ class ExecContext:
         self.authority = session.db.authority
         self.registry = self.authority.tags
         self.ifc_enabled = session.db.ifc_enabled
+        #: Per-operator memory budget in bytes (0 = unbounded): read at
+        #: execution time so a cached plan honours the database's
+        #: current ``work_mem`` — spilling is a runtime overflow
+        #: reaction, not a plan property (the optimizer only *costs* it).
+        self.work_mem = getattr(session.db, "work_mem", 0) or 0
 
     def now(self) -> float:
         return self.session.db.clock()
@@ -153,6 +159,15 @@ class Plan:
     #: Rows per batch; 0 pins row-at-a-time execution (naive/reference
     #: plans).  Stamped tree-wide by the planner at lowering.
     batch_size: int = 0
+    #: Estimated peak operator memory in bytes (materializing operators
+    #: only — join builds and inner materializations), attached by the
+    #: planner and rendered by EXPLAIN.  Under a ``work_mem`` budget a
+    #: spilling operator's estimate is its per-partition share, i.e.
+    #: the expected peak *resident* footprint.
+    est_mem: Optional[float] = None
+    #: Optimizer-estimated grace-spill leaf partitions (0 = expected to
+    #: fit in ``work_mem``); rendered by EXPLAIN.
+    est_spill_partitions: int = 0
 
     def rows(self, ctx: ExecContext) -> Iterator[ExecRow]:
         raise NotImplementedError
@@ -218,6 +233,18 @@ def _visible_versions(chunk: list, txn, txn_manager) -> list:
     concurrent transaction old enough to matter (``min_in_progress``),
     any aborted-but-unvacuumed creator (the horizon stalls on it), or
     any deletion drops the chunk to per-row ``visible()``.
+
+    The horizon is the only moving part: it advances when a concurrent
+    writer commits, possibly *mid-statement* (a spilled hash join can
+    keep scanning long after its first output row).  That is safe by
+    construction: the two snapshot-anchored bounds never move, and any
+    version such a writer created fails one of them — a writer begun
+    after the snapshot has ``xmin >= snapshot.xmax``, one in flight at
+    snapshot time has ``xmin >= min_in_progress`` — so the chunk drops
+    to per-row ``visible()``, which consults the immutable snapshot.
+    An advancing horizon alone can therefore never admit a
+    snapshot-invisible version (regression:
+    ``tests/test_spill.py::test_spilled_hash_join_sees_statement_snapshot``).
     """
     hi_xmin = 0
     for version in chunk:
@@ -581,17 +608,29 @@ class Filter(Plan):
 
 
 class NestedLoopJoin(Plan):
-    """Generic join; materializes the right side once per execution."""
+    """Generic join; materializes the right side once per execution.
+
+    ``batch_on`` is the batch-compiled form of the join predicate
+    (:func:`repro.db.expressions.compile_batch`): in batch mode the
+    predicate is evaluated over the whole materialized inner side per
+    outer row — one closure call instead of one per inner row — which
+    is where a non-equi join spends its time.
+    """
 
     def __init__(self, left: Plan, right: Plan, kind: str,
-                 on: Optional[Callable], right_width: int):
+                 on: Optional[Callable], right_width: int,
+                 batch_on: Optional[Callable] = None):
         self.left = left
         self.right = right
         self.kind = kind
         self.on = on
+        self.batch_on = batch_on
         self.right_width = right_width
 
     def rows(self, ctx):
+        if self.batch_size:
+            yield from self._drain(ctx)
+            return
         right_rows = list(self.right.rows(ctx))
         on = self.on
         outer = self.kind == "left"
@@ -608,6 +647,54 @@ class NestedLoopJoin(Plan):
             if outer and not matched:
                 yield lvalues + pad, llabel, lilabel
 
+    def batches(self, ctx):
+        if not self.batch_size:
+            yield from Plan.batches(self, ctx)
+            return
+        # rows() on the right child adapts whichever interface it
+        # implements, so this materialization matches row mode exactly.
+        right_rows = list(self.right.rows(ctx))
+        on = self.on
+        batch_on = self.batch_on
+        outer = self.kind == "left"
+        pad = [None] * self.right_width
+        size = self.batch_size
+        out_values: list = []
+        out_labels: list = []
+        out_ilabels: list = []
+        for batch in self.left.batches(ctx):
+            llabels = batch.labels
+            lilabels = batch.ilabels
+            for i, lvalues in enumerate(batch.values):
+                llabel = llabels[i]
+                lilabel = lilabels[i]
+                combined_rows = [lvalues + rvalues
+                                 for rvalues, _rl, _ril in right_rows]
+                if on is None:
+                    flags = None                 # cross join: all match
+                elif batch_on is not None:
+                    flags = batch_on(combined_rows, ctx)
+                else:
+                    flags = [on(row, ctx) for row in combined_rows]
+                matched = False
+                for j, combined in enumerate(combined_rows):
+                    if flags is not None and not flags[j]:
+                        continue
+                    matched = True
+                    _rvalues, rlabel, rilabel = right_rows[j]
+                    out_values.append(combined)
+                    out_labels.append(llabel.union(rlabel))
+                    out_ilabels.append(lilabel.union(rilabel))
+                if outer and not matched:
+                    out_values.append(lvalues + pad)
+                    out_labels.append(llabel)
+                    out_ilabels.append(lilabel)
+                if len(out_values) >= size:
+                    yield RowBatch(out_values, out_labels, out_ilabels)
+                    out_values, out_labels, out_ilabels = [], [], []
+        if out_values:
+            yield RowBatch(out_values, out_labels, out_ilabels)
+
 
 class IndexLoopJoin(Plan):
     """Join where the inner side is a base-table index lookup.
@@ -615,6 +702,15 @@ class IndexLoopJoin(Plan):
     The key functions reference only left-side columns (checked at plan
     time), so they are evaluated against the left row padded to full
     width.  Residual ON conditions are applied to the combined row.
+
+    **Batch mode** collects a batch of outer rows, dedupes their probe
+    keys (sorted when the key type allows, for index locality), and
+    probes the index **once per distinct key per batch** — visibility,
+    label checks, and buffer-cache touches are charged once per
+    candidate version per *probe*, not per duplicate outer row, so a
+    duplicate-heavy foreign key stops multiplying the per-probe costs.
+    Joined rows are emitted in outer-row order, exactly as row mode
+    would have.
     """
 
     def __init__(self, left: Plan, table: Table, index,
@@ -632,14 +728,120 @@ class IndexLoopJoin(Plan):
         self.view_grants = view_grants
         self.right_width = right_width
 
-    def rows(self, ctx):
+    def _check_view_authority(self, ctx: ExecContext) -> None:
+        for view, tags in self.view_grants:
+            for tag_id in tags:
+                if not ctx.authority.has_authority(view.principal, tag_id):
+                    raise AuthorityError(
+                        "declassifying view %r lost authority" % view.name)
+
+    def _probe(self, ctx, key, txn, txn_manager,
+               label_memo: Optional[Dict[Label, bool]]) -> list:
+        """One index probe: the visible, label-covered inner rows for
+        ``key``.  ``label_memo`` is the per-batch covers() memo (None
+        under declassification, where each row's emitted label is its
+        stripped label and the global strip/covers memos serve)."""
+        table = self.table
+        registry = ctx.registry
+        read_label = ctx.read_label
+        declass = self.declass
+        check_labels = ctx.ifc_enabled
+        matches = []
+        for version in table.versions_for_tids(self.index.lookup(key)):
+            table.touch(version)
+            if not txn_manager.visible(version, txn):
+                continue
+            label = version.label
+            if check_labels:
+                if label_memo is not None:
+                    ok = label_memo.get(label)
+                    if ok is None:
+                        ok = covers(registry, label, read_label)
+                        label_memo[label] = ok
+                    if not ok:
+                        continue
+                else:
+                    if declass:
+                        label = strip(registry, label, declass)
+                    if not covers(registry, label, read_label):
+                        continue
+            rvalues = list(version.values)
+            rvalues.append(label)
+            matches.append((rvalues, label, version.ilabel))
+        return matches
+
+    def batches(self, ctx):
+        if not self.batch_size:
+            yield from Plan.batches(self, ctx)
+            return
         if ctx.ifc_enabled and self.view_grants:
-            for view, tags in self.view_grants:
-                for tag_id in tags:
-                    if not ctx.authority.has_authority(view.principal, tag_id):
-                        raise AuthorityError(
-                            "declassifying view %r lost authority"
-                            % view.name)
+            self._check_view_authority(ctx)
+        session = ctx.session
+        txn = session.transaction
+        txn_manager = session.db.txn_manager
+        residual = self.residual
+        outer = self.kind == "left"
+        pad = [None] * self.right_width
+        key_fns = self.key_fns
+        size = self.batch_size
+        use_memo = ctx.ifc_enabled and not self.declass
+        out_values: list = []
+        out_labels: list = []
+        out_ilabels: list = []
+        for batch in self.left.batches(ctx):
+            keys: list = []
+            distinct: dict = {}
+            for lvalues in batch.values:
+                probe_row = lvalues + pad
+                key = tuple(fn(probe_row, ctx) for fn in key_fns)
+                if any(k is None for k in key):
+                    keys.append(None)
+                else:
+                    keys.append(key)
+                    distinct[key] = None
+            ordered = list(distinct)
+            try:
+                ordered.sort()
+            except TypeError:
+                pass                  # incomparable key mix: keep order
+            label_memo: Optional[Dict[Label, bool]] = \
+                {} if use_memo else None
+            for key in ordered:
+                distinct[key] = self._probe(ctx, key, txn, txn_manager,
+                                            label_memo)
+            llabels = batch.labels
+            lilabels = batch.ilabels
+            for i, lvalues in enumerate(batch.values):
+                llabel = llabels[i]
+                lilabel = lilabels[i]
+                key = keys[i]
+                matched = False
+                if key is not None:
+                    for rvalues, rlabel, rilabel in distinct[key]:
+                        combined = lvalues + rvalues
+                        if residual is not None \
+                                and not residual(combined, ctx):
+                            continue
+                        matched = True
+                        out_values.append(combined)
+                        out_labels.append(llabel.union(rlabel))
+                        out_ilabels.append(lilabel.union(rilabel))
+                if outer and not matched:
+                    out_values.append(lvalues + pad)
+                    out_labels.append(llabel)
+                    out_ilabels.append(lilabel)
+                if len(out_values) >= size:
+                    yield RowBatch(out_values, out_labels, out_ilabels)
+                    out_values, out_labels, out_ilabels = [], [], []
+        if out_values:
+            yield RowBatch(out_values, out_labels, out_ilabels)
+
+    def rows(self, ctx):
+        if self.batch_size:
+            yield from self._drain(ctx)
+            return
+        if ctx.ifc_enabled and self.view_grants:
+            self._check_view_authority(ctx)
         session = ctx.session
         txn = session.transaction
         txn_manager = session.db.txn_manager
@@ -681,7 +883,22 @@ class IndexLoopJoin(Plan):
 
 
 class HashJoin(Plan):
-    """Equi-join: hash the right side, probe with left rows."""
+    """Equi-join: hash the right side, probe with left rows.
+
+    **Memory bound.**  The build is byte-estimated as it grows
+    (:func:`repro.db.spill.estimate_row_bytes`); when it exceeds the
+    execution budget (``ctx.work_mem``, from ``Database(work_mem=…)`` /
+    ``REPRO_WORK_MEM``; 0 = unbounded) the join switches to hybrid
+    grace spilling (:class:`repro.db.spill.SpilledHashBuild`): build
+    and probe rows are hash-partitioned to temp files, one partition
+    stays memory-resident so its probes still stream, and oversized
+    partitions re-partition recursively.  Spilling changes *where* a
+    probe row meets its matches — never which matches exist: every
+    spooled row already passed the scan-level MVCC and label checks
+    under the statement's snapshot, and the snapshot cannot move while
+    the statement runs (see ``_visible_versions``), so a spilled and an
+    in-memory execution see exactly the same rows.
+    """
 
     def __init__(self, left: Plan, right: Plan, left_key_fns: List[Callable],
                  right_key_fns: List[Callable], residual: Optional[Callable],
@@ -695,62 +912,101 @@ class HashJoin(Plan):
         self.right_width = right_width
         self.left_width = left_width
 
-    def _build(self, ctx) -> Dict[tuple, list]:
-        """Hash the right side; batch mode consumes whole batches so the
-        build loop is a flat pass over materialized lists rather than a
-        per-row generator chain."""
+    def _build(self, ctx):
+        """Hash the right side under the byte budget.
+
+        Returns ``(buckets, spill)``: ``spill`` is None while the build
+        fits in memory, otherwise a
+        :class:`~repro.db.spill.SpilledHashBuild` that absorbed every
+        build row (and ``buckets`` is empty).  Batch mode consumes
+        whole batches so the build loop is a flat pass over
+        materialized lists rather than a per-row generator chain.
+        """
+        budget = ctx.work_mem
         buckets: Dict[tuple, list] = {}
         setdefault = buckets.setdefault
         pad_left = [None] * self.left_width
         right_key_fns = self.right_key_fns
+        spill = None
+        mem = 0
         if self.batch_size:
-            for batch in self.right.batches(ctx):
-                rlabels = batch.labels
-                rilabels = batch.ilabels
-                for i, rvalues in enumerate(batch.values):
-                    probe = pad_left + rvalues
-                    key = tuple(fn(probe, ctx) for fn in right_key_fns)
-                    if any(k is None for k in key):
-                        continue
-                    setdefault(key, []).append((rvalues, rlabels[i],
-                                                rilabels[i]))
-            return buckets
-        for rvalues, rlabel, rilabel in self.right.rows(ctx):
+            def source():
+                for batch in self.right.batches(ctx):
+                    yield from zip(batch.values, batch.labels,
+                                   batch.ilabels)
+        else:
+            def source():
+                return self.right.rows(ctx)
+        for row in source():
+            rvalues = row[0]
             probe = pad_left + rvalues
             key = tuple(fn(probe, ctx) for fn in right_key_fns)
             if any(k is None for k in key):
                 continue
-            setdefault(key, []).append((rvalues, rlabel, rilabel))
-        return buckets
+            if spill is not None:
+                spill.add_build(key, row)
+                continue
+            setdefault(key, []).append(row)
+            if budget:
+                mem += estimate_row_bytes(rvalues, row[1]) \
+                    + BUCKET_ENTRY_BYTES
+                if mem > budget:
+                    spill = SpilledHashBuild(budget)
+                    spill.take_buckets(buckets)
+                    buckets = {}
+        return buckets, spill
+
+    def _join_matches(self, lvalues, llabel, lilabel, matches, ctx, pad):
+        """Emit the joined rows for one probe row (shared by the
+        streaming and the spilled partition phases)."""
+        residual = self.residual
+        matched = False
+        for rvalues, rlabel, rilabel in matches:
+            combined = lvalues + rvalues
+            if residual is not None and not residual(combined, ctx):
+                continue
+            matched = True
+            yield (combined, llabel.union(rlabel), lilabel.union(rilabel))
+        if self.kind == "left" and not matched:
+            yield lvalues + pad, llabel, lilabel
+
+    def _spilled_rows(self, ctx, spill):
+        """Partition phase: join every spooled probe row."""
+        pad = [None] * self.right_width
+        for (lvalues, llabel, lilabel), matches in spill.results():
+            yield from self._join_matches(lvalues, llabel, lilabel,
+                                          matches, ctx, pad)
 
     def rows(self, ctx):
         if self.batch_size:
             yield from self._drain(ctx)
             return
-        buckets = self._build(ctx)
-        residual = self.residual
+        buckets, spill = self._build(ctx)
         outer = self.kind == "left"
         pad = [None] * self.right_width
         for lvalues, llabel, lilabel in self.left.rows(ctx):
             probe = lvalues + pad
             key = tuple(fn(probe, ctx) for fn in self.left_key_fns)
-            matched = False
-            if not any(k is None for k in key):
-                for rvalues, rlabel, rilabel in buckets.get(key, ()):
-                    combined = lvalues + rvalues
-                    if residual is not None and not residual(combined, ctx):
-                        continue
-                    matched = True
-                    yield (combined, llabel.union(rlabel),
-                           lilabel.union(rilabel))
-            if outer and not matched:
-                yield lvalues + pad, llabel, lilabel
+            if any(k is None for k in key):
+                if outer:
+                    yield lvalues + pad, llabel, lilabel
+                continue
+            if spill is None:
+                matches = buckets.get(key, ())
+            else:
+                matches = spill.probe(key, (lvalues, llabel, lilabel))
+                if matches is None:
+                    continue          # spooled for the partition phase
+            yield from self._join_matches(lvalues, llabel, lilabel,
+                                          matches, ctx, pad)
+        if spill is not None:
+            yield from self._spilled_rows(ctx, spill)
 
     def batches(self, ctx):
         if not self.batch_size:
             yield from Plan.batches(self, ctx)
             return
-        buckets = self._build(ctx)
+        buckets, spill = self._build(ctx)
         residual = self.residual
         outer = self.kind == "left"
         pad = [None] * self.right_width
@@ -770,7 +1026,16 @@ class HashJoin(Plan):
                 key = tuple(fn(probe, ctx) for fn in left_key_fns)
                 matched = False
                 if not any(k is None for k in key):
-                    for rvalues, rlabel, rilabel in buckets.get(key, empty):
+                    if spill is None:
+                        matches = buckets.get(key, empty)
+                    else:
+                        matches = spill.probe(key, (lvalues, llabel,
+                                                    lilabel))
+                        if matches is None:
+                            continue  # spooled for the partition phase
+                    # Mirrors _join_matches, inlined: this loop appends
+                    # straight into the output batch on the hot path.
+                    for rvalues, rlabel, rilabel in matches:
                         combined = lvalues + rvalues
                         if residual is not None \
                                 and not residual(combined, ctx):
@@ -783,6 +1048,14 @@ class HashJoin(Plan):
                     out_values.append(lvalues + pad)
                     out_labels.append(llabel)
                     out_ilabels.append(lilabel)
+                if len(out_values) >= size:
+                    yield RowBatch(out_values, out_labels, out_ilabels)
+                    out_values, out_labels, out_ilabels = [], [], []
+        if spill is not None:
+            for values, label, ilabel in self._spilled_rows(ctx, spill):
+                out_values.append(values)
+                out_labels.append(label)
+                out_ilabels.append(ilabel)
                 if len(out_values) >= size:
                     yield RowBatch(out_values, out_labels, out_ilabels)
                     out_values, out_labels, out_ilabels = [], [], []
@@ -1184,6 +1457,13 @@ def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
     # (the rest adapt through the chunking shim).
     if plan.batch_size and type(plan).batches is not Plan.batches:
         line += "  batch=%d" % plan.batch_size
+    # Memory estimates for materializing operators: expected grace
+    # partitions (0 omitted — the build fits work_mem) and the peak
+    # resident bytes (per-partition share when spilling).
+    if plan.est_spill_partitions:
+        line += "  spill_partitions=%d" % plan.est_spill_partitions
+    if plan.est_mem is not None:
+        line += "  mem=%dB" % round(plan.est_mem)
     lines = [line]
     for child in _children(plan):
         lines.extend(explain_plan(child, indent + 1))
@@ -1223,7 +1503,11 @@ def stamp_batch_size(plan: Plan, size: int) -> Plan:
     :data:`BATCH_MIN_INDEX_ROWS` candidate rows, and interior operators
     batch iff something beneath them does (so a one-row probe query
     stays entirely on the original row path, paying zero batch
-    overhead).  Mixing modes inside one tree is safe by construction:
+    overhead).  :class:`IndexLoopJoin` adds its own floor: its batch
+    win is the per-batch probe dedup, which needs at least
+    :data:`BATCH_MIN_INDEX_ROWS` *outer* rows to amortize — below that
+    the join stays on the row path even above a batching child.
+    Mixing modes inside one tree is safe by construction:
     every operator adapts either interface to the other.  Subquery
     plans compiled into expression closures are stamped by their own
     ``plan_select`` call, not this walk.
@@ -1242,6 +1526,10 @@ def stamp_batch_size(plan: Plan, size: int) -> Plan:
             else:
                 est = node.est_rows
                 batched = est is None or est >= BATCH_MIN_INDEX_ROWS
+        elif isinstance(node, IndexLoopJoin):
+            outer_est = node.left.est_rows
+            batched = child_batched and (
+                outer_est is None or outer_est >= BATCH_MIN_INDEX_ROWS)
         else:
             batched = child_batched
         node.batch_size = size if batched else 0

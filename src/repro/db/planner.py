@@ -83,10 +83,12 @@ class Planner:
     """
 
     def __init__(self, catalog: Catalog, registry, stats=None,
-                 naive: bool = False, batch_size: int = 0):
+                 naive: bool = False, batch_size: int = 0,
+                 work_mem: int = 0):
         self.catalog = catalog
         self.registry = registry
-        self.optimizer = Optimizer(catalog, stats=stats, naive=naive)
+        self.optimizer = Optimizer(catalog, stats=stats, naive=naive,
+                                   work_mem=work_mem)
         #: Execution batch size stamped onto lowered plans; the
         #: optimizer pins it to 0 (row-at-a-time) in naive mode so the
         #: differential harness's reference executor stays per-tuple.
@@ -327,12 +329,20 @@ class Planner:
                           for col, e in zip(choice.right_columns,
                                             choice.left_exprs)),
                 self._filter_text(choice.residual))
+            plan.est_mem = choice.est_mem
+            plan.est_spill_partitions = choice.est_spill_partitions
             return self._annotate(plan, choice.est_rows, choice.est_cost)
         residual_fn = self._conjunction(choice.residual, compiler)
+        batch_on = None
+        if self.batch_size and choice.residual:
+            batch_on = ex.compile_batch(
+                compiler, choice.residual[0] if len(choice.residual) == 1
+                else ex.And(list(choice.residual)))
         plan = NestedLoopJoin(left, right_plan, kind, residual_fn,
-                              entry.width)
+                              entry.width, batch_on=batch_on)
         plan.explain = "NestedLoopJoin (%s)%s" % (
             kind, self._filter_text(choice.residual))
+        plan.est_mem = choice.est_mem
         return self._annotate(plan, choice.est_rows, choice.est_cost)
 
     # -- select list, grouping, ordering ----------------------------------

@@ -1,0 +1,375 @@
+"""Spill files for memory-bounded (grace) hash joins.
+
+The batched executor's :class:`~repro.db.physical.HashJoin` builds an
+in-memory hash table of its right input.  Under a ``work_mem`` budget
+(``Database(work_mem=…)`` / ``REPRO_WORK_MEM``) the build is
+byte-estimated as it grows; on overflow the join degrades to the
+classic *hybrid grace* scheme this module implements the storage for:
+
+* build rows are hash-partitioned by join key into ``SPILL_FANOUT``
+  partitions; partition 0 stays **resident** in memory (the hybrid
+  part) unless it alone overflows the budget, every other partition
+  spools to an anonymous temp file;
+* probe rows whose key routes to the resident partition join
+  immediately (streaming); the rest spool to per-partition probe
+  files;
+* each spilled partition is then joined independently — and a
+  partition whose build side *still* exceeds the budget is recursively
+  re-partitioned with a fresh hash salt, terminating when the
+  partition holds a single distinct key (re-partitioning cannot split
+  it; it is processed in memory over budget) or at
+  :data:`MAX_RECURSION`.
+
+Rows are serialized with the labeled-row codec shared with the
+dump/restore tooling (:func:`encode_labeled_row`, which
+:mod:`repro.db.dump` also uses per tuple): labels are stored as plain
+tag tuples and re-enter the intern table on decode, so a reloaded
+label is *identical* (``is``) to the live one and the scan-level label
+memos keep working across a spill.
+
+Spilling never moves enforcement: every spooled row already passed the
+scan-level MVCC and Query-by-Label checks under the statement's
+snapshot, and a temp-file round trip cannot resurrect a tuple the
+process may not see.  Temp files never touch the buffer cache — heap
+pages were charged once, when the scans read them.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.labels import Label
+
+#: Partitions per spill level (the grace-join fanout).
+SPILL_FANOUT = 8
+#: Hard cap on recursive re-partitioning depth; a partition that still
+#: overflows at this depth is processed in memory over budget (likely
+#: extreme skew that even re-salting cannot split).
+MAX_RECURSION = 6
+#: Estimated dict-entry overhead per build row (bucket list slot, key
+#: tuple, hash-table share), on top of :func:`estimate_row_bytes`.
+BUCKET_ENTRY_BYTES = 96
+
+
+class SpillStats:
+    """Process-wide spill counters (diff before/after, like
+    ``rules.COUNTERS``).  ``spills`` counts top-level build-side
+    overflow events (one per join that spilled, however deep the
+    recursion), ``repartitions`` recursive splits,
+    ``partitions_created`` build spools that actually received rows;
+    bytes are accounted when a spool switches from writing to
+    reading."""
+
+    __slots__ = ("spills", "partitions_created", "repartitions",
+                 "rows_spilled", "bytes_spilled")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.spills = 0
+        self.partitions_created = 0
+        self.repartitions = 0
+        self.rows_spilled = 0
+        self.bytes_spilled = 0
+
+    def snapshot(self) -> dict:
+        return {"spills": self.spills,
+                "partitions_created": self.partitions_created,
+                "repartitions": self.repartitions,
+                "rows_spilled": self.rows_spilled,
+                "bytes_spilled": self.bytes_spilled}
+
+
+#: The module-wide counter instance.
+SPILL_STATS = SpillStats()
+
+
+# ---------------------------------------------------------------------------
+# the labeled-row codec (shared with db.dump)
+# ---------------------------------------------------------------------------
+
+def encode_labeled_row(values, label: Label, ilabel: Label) -> tuple:
+    """Serialize one labeled row as ``(values, label_tags, ilabel_tags)``.
+
+    The same representation the label-preserving dump format stores per
+    tuple (:mod:`repro.db.dump`): labels flatten to plain tag tuples so
+    the payload is stable pickle regardless of intern-table state.
+    """
+    return values, tuple(label.tags), tuple(ilabel.tags)
+
+
+def decode_labeled_row(record: tuple):
+    """Inverse of :func:`encode_labeled_row`; labels re-enter the
+    intern table, so a decoded label is identical (``is``) to the live
+    interned instance for the same tag set."""
+    values, label_tags, ilabel_tags = record
+    return values, Label(label_tags), Label(ilabel_tags)
+
+
+def estimate_row_bytes(values, label: Optional[Label] = None) -> int:
+    """Approximate in-memory footprint of one execution row.
+
+    Deliberately coarse (CPython object headers rounded to friendly
+    constants): the budget decides *when to switch algorithms*, not an
+    allocator invariant.  Strings count their length, labels 4 bytes a
+    tag plus object overhead — the same per-tag accounting the page
+    model uses (section 8.3).
+    """
+    total = 64                               # the list + its pointer slots
+    for value in values:
+        if value is None:
+            total += 8
+        elif isinstance(value, (int, float)):
+            total += 28
+        elif isinstance(value, str):
+            total += 49 + len(value)
+        elif isinstance(value, Label):
+            total += 64 + 4 * len(value)
+        else:
+            total += 64
+    if label is not None:
+        total += 16 + 4 * len(label)
+    return total
+
+
+def estimated_tuple_bytes(n_columns: int) -> int:
+    """Planning-time row-width guess when only the column count is
+    known (the optimizer's spill costing; see ``Optimizer``)."""
+    return 72 + 30 * n_columns
+
+
+class SpillFile:
+    """Append-only spool of pickled records on an anonymous temp file.
+
+    Records are written with ``pickle`` (self-delimiting, so no length
+    framing is needed) and read back exactly once.  The backing
+    ``TemporaryFile`` is opened lazily on the first write — a grace
+    join creates ``2 × fanout`` spools per level and many (the hybrid
+    resident pair, lightly-hit partitions) are never written — and is
+    unlinked by the OS, so an abandoned spool cannot outlive the
+    process.
+    """
+
+    __slots__ = ("_file", "count", "_reading")
+
+    def __init__(self):
+        self._file = None
+        self.count = 0
+        self._reading = False
+
+    def write(self, record) -> None:
+        assert not self._reading, "spill file already switched to reading"
+        if self._file is None:
+            self._file = tempfile.TemporaryFile(prefix="repro-spill-")
+        pickle.dump(record, self._file, pickle.HIGHEST_PROTOCOL)
+        self.count += 1
+        SPILL_STATS.rows_spilled += 1
+
+    def records(self) -> Iterator:
+        """Yield every record in write order, then close the file."""
+        self._reading = True
+        if self._file is None:
+            return
+        SPILL_STATS.bytes_spilled += self._file.tell()
+        self._file.seek(0)
+        try:
+            for _ in range(self.count):
+                yield pickle.load(self._file)
+        finally:
+            self._file.close()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+
+    # -- labeled execution rows (the join spools) ----------------------
+    def write_row(self, key: tuple, row) -> None:
+        """Spool one keyed ``(values, label, ilabel)`` execution row."""
+        values, label, ilabel = row
+        self.write((key,) + encode_labeled_row(values, label, ilabel))
+
+    def rows(self) -> Iterator[Tuple[tuple, tuple]]:
+        """Yield ``(key, (values, label, ilabel))`` in write order."""
+        for key, values, label_tags, ilabel_tags in self.records():
+            yield key, decode_labeled_row((values, label_tags,
+                                           ilabel_tags))
+
+
+class _Partition:
+    """One grace partition: a build spool and a probe spool."""
+
+    __slots__ = ("build", "probe")
+
+    def __init__(self):
+        self.build = SpillFile()
+        self.probe = SpillFile()
+
+
+class SpilledHashBuild:
+    """Partitioned overflow state for one hash-join build side.
+
+    Rows are opaque to this class (the join layer passes
+    ``(values, label, ilabel)`` triples); only the key participates in
+    routing.  With ``keep_resident`` (the top level) partition 0 lives
+    as an in-memory bucket dict so probes against it stream with no
+    extra I/O; recursion levels disable it — their input is already a
+    single partition's worth of rows.
+    """
+
+    __slots__ = ("budget", "fanout", "salt", "depth", "partitions",
+                 "resident", "resident_bytes")
+
+    def __init__(self, budget: int, *, salt: int = 0, depth: int = 0,
+                 keep_resident: bool = True, fanout: int = SPILL_FANOUT):
+        self.budget = budget
+        self.fanout = fanout
+        self.salt = salt
+        self.depth = depth
+        self.partitions: List[_Partition] = [_Partition()
+                                             for _ in range(fanout)]
+        self.resident: Optional[Dict[tuple, list]] = \
+            {} if keep_resident else None
+        self.resident_bytes = 0
+        if depth == 0:
+            SPILL_STATS.spills += 1
+
+    def route(self, key: tuple) -> int:
+        return hash((self.salt, key)) % self.fanout
+
+    @staticmethod
+    def _write_build(spool: SpillFile, key: tuple, row) -> None:
+        if spool.count == 0:
+            SPILL_STATS.partitions_created += 1
+        spool.write_row(key, row)
+
+    # -- build side ----------------------------------------------------
+    def take_buckets(self, buckets: Dict[tuple, list]) -> None:
+        """Migrate the in-memory buckets accumulated before overflow."""
+        for key, rows in buckets.items():
+            for row in rows:
+                self.add_build(key, row)
+
+    def add_build(self, key: tuple, row) -> None:
+        index = self.route(key)
+        if index == 0 and self.resident is not None:
+            self.resident.setdefault(key, []).append(row)
+            self.resident_bytes += (estimate_row_bytes(row[0], row[1])
+                                    + BUCKET_ENTRY_BYTES)
+            if self.resident_bytes > self.budget:
+                # The hybrid partition alone overflows: demote it to a
+                # spool like the others (build phase only — by probe
+                # time the resident dict is frozen).
+                spool = self.partitions[0].build
+                for spilled_key, rows in self.resident.items():
+                    for spilled_row in rows:
+                        self._write_build(spool, spilled_key, spilled_row)
+                self.resident = None
+            return
+        self._write_build(self.partitions[index].build, key, row)
+
+    # -- probe side ----------------------------------------------------
+    def probe(self, key: tuple, row) -> Optional[list]:
+        """Immediate matches when ``key`` routes to the resident
+        partition (possibly ``[]`` — a definitive miss), else ``None``
+        after spooling the probe row for the partition phase.
+
+        The build side is always complete before probing starts, so a
+        partition whose build spool is empty is also a definitive miss
+        — the probe row skips the spool round trip.  (Top level only:
+        recursion levels re-spool via :meth:`spool_probe`, where the
+        row must surface in the partition phase regardless, for LEFT
+        JOIN NULL extension.)"""
+        index = self.route(key)
+        if index == 0 and self.resident is not None:
+            return self.resident.get(key, [])
+        partition = self.partitions[index]
+        if partition.build.count == 0:
+            return []
+        partition.probe.write_row(key, row)
+        return None
+
+    def spool_probe(self, key: tuple, row) -> None:
+        self.partitions[self.route(key)].probe.write_row(key, row)
+
+    # -- partition phase ------------------------------------------------
+    def results(self) -> Iterator[Tuple[object, list]]:
+        """Yield ``(probe_row, build_matches)`` for every spooled probe
+        row, re-partitioning build sides that still exceed the budget."""
+        for index, partition in enumerate(self.partitions):
+            if index == 0 and self.resident is not None:
+                # Resident probes were answered online; nothing spooled.
+                partition.build.close()
+                partition.probe.close()
+                continue
+            yield from _join_partition(partition.build.rows(),
+                                       partition.probe.rows(),
+                                       self.budget, self.depth + 1)
+
+
+def _join_partition(build_records, probe_records, budget: int,
+                    depth: int) -> Iterator[Tuple[object, list]]:
+    """Join one partition's spooled build and probe rows.
+
+    Loads the build side into buckets under the byte budget; if it
+    overflows *and* holds more than one distinct key *and* the
+    recursion cap is not reached, the partition is split again with a
+    fresh salt (both sides re-spooled) — otherwise it finishes in
+    memory over budget, which is the termination guarantee for
+    all-equal-key (unsplittable) partitions.
+    """
+    buckets: Dict[tuple, list] = {}
+    mem = 0
+    child: Optional[SpilledHashBuild] = None
+    for key, row in build_records:
+        if child is not None:
+            child.add_build(key, row)
+            continue
+        buckets.setdefault(key, []).append(row)
+        mem += estimate_row_bytes(row[0], row[1]) + BUCKET_ENTRY_BYTES
+        if (mem > budget and len(buckets) > 1 and depth < MAX_RECURSION):
+            child = SpilledHashBuild(budget, salt=depth, depth=depth,
+                                     keep_resident=False)
+            child.take_buckets(buckets)
+            buckets = {}
+            SPILL_STATS.repartitions += 1
+    if child is None:
+        empty: list = []
+        for key, row in probe_records:
+            yield row, buckets.get(key, empty)
+        return
+    for key, row in probe_records:
+        child.spool_probe(key, row)
+    yield from child.results()
+
+
+def estimate_spill_plan(build_bytes: float, work_mem: int,
+                        fanout: int = SPILL_FANOUT
+                        ) -> Tuple[int, float, int]:
+    """Planning-time estimate:
+    ``(leaf_partitions, bytes_per_partition, levels)``.
+
+    Zero partitions means the build is expected to fit.  Partition
+    counts grow by whole levels of ``fanout`` (the runtime splits a
+    level at a time), so the estimated per-partition memory — what
+    EXPLAIN reports as the operator's peak — is ``build_bytes /
+    fanout**levels``, the first level count that fits the budget.
+    ``levels`` is how many times each spilled row is expected to be
+    written and re-read, which is what the optimizer charges.
+
+    Past :data:`MAX_RECURSION` levels (a build estimated beyond
+    ``work_mem × fanout**MAX_RECURSION``) the estimate stops splitting,
+    mirroring the runtime's recursion cap: the returned per-partition
+    bytes then honestly exceed the budget, and EXPLAIN shows the
+    over-budget peak the capped execution would actually reach.
+    """
+    if not work_mem or build_bytes <= work_mem:
+        return 0, build_bytes, 0
+    partitions = 1
+    levels = 0
+    while build_bytes / partitions > work_mem and levels < MAX_RECURSION:
+        partitions *= fanout
+        levels += 1
+    return partitions, build_bytes / partitions, levels

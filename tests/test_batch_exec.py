@@ -24,6 +24,7 @@ from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
 from repro.core import rules
 from repro.db import Database
 from repro.db import expressions as ex
+from repro.db import indexes
 from repro.db.pages import BufferCache
 
 
@@ -291,6 +292,71 @@ def test_compile_batch_and_preserves_short_circuit():
     assert flags == [True, False, True, None]
     # And the scan-level on-values path accepts this predicate shape.
     assert ex.reads_columns_only(node)
+
+
+SELF_JOIN = ("SELECT a.id, b.id FROM m a JOIN m b ON b.grp = a.grp "
+             "ORDER BY a.id, b.id")
+
+
+def _join_counters(batch_size):
+    """Run the duplicate-heavy self-join; return (rows, lookups,
+    buffer_accesses, covers_calls) deltas for the join statement."""
+    db, _public, secret, _ = _stack(batch_size, work_mem=0)
+    plan_lines = [r[0] for r in secret.execute("EXPLAIN " + SELF_JOIN)]
+    assert any("IndexLoopJoin" in line for line in plan_lines), plan_lines
+    db.buffer_cache.reset()
+    lookups_before = indexes.COUNTERS.lookups
+    covers_before = rules.COUNTERS.covers_calls
+    rows = secret.execute(SELF_JOIN).rows
+    return (rows,
+            indexes.COUNTERS.lookups - lookups_before,
+            db.buffer_cache.stats.accesses,
+            rules.COUNTERS.covers_calls - covers_before)
+
+
+def test_index_loop_join_dedups_probes_per_batch():
+    """40 outer rows but only 4 distinct join keys: the batched probe
+    must hit the index once per distinct key per batch, and must not
+    double-count buffer-cache touches or Query-by-Label checks for the
+    duplicate outer keys — row mode pays all three per outer row."""
+    row_rows, row_lookups, row_touches, row_covers = _join_counters(0)
+    bat_rows, bat_lookups, bat_touches, bat_covers = _join_counters(1024)
+    assert [tuple(r) for r in bat_rows] == [tuple(r) for r in row_rows]
+    # Row mode: one probe per outer row; each probe yields the 10
+    # same-group candidates, each touched and label-checked.
+    assert row_lookups == 40
+    assert row_touches == 40 + 40 * 10       # outer scan + per-row probes
+    # Batched (one 40-row batch): one probe per *distinct* key, one
+    # touch and one visibility pass per candidate per probe — and one
+    # covers() per distinct label per batch, never per duplicate row.
+    assert bat_lookups == 4
+    assert bat_touches == 40 + 4 * 10        # outer scan + deduped probes
+    assert bat_covers <= 4                   # ≤2 labels × (scan + probe)
+    assert bat_lookups <= row_lookups * 0.8  # the ≥20% acceptance floor
+    assert bat_covers < row_covers
+
+
+def test_index_loop_join_small_outer_stays_on_row_path():
+    """The outer side is estimated below BATCH_MIN_INDEX_ROWS: batch
+    probing cannot amortize, so the join pins the row path (per-row
+    probes) even though the outer scan itself batches."""
+    db, public, secret, _ = _stack(512, work_mem=0)
+    public.execute("CREATE TABLE tiny (id INT PRIMARY KEY, grp INT)")
+    for i in range(8):
+        public.execute("INSERT INTO tiny VALUES (?, ?)", (i, i % 4))
+    sql = "SELECT t.id, b.id FROM tiny t JOIN m b ON b.grp = t.grp"
+    plan_lines = [r[0] for r in secret.execute("EXPLAIN " + sql)]
+    join_line = next(line for line in plan_lines
+                     if "IndexLoopJoin" in line)
+    assert "batch=" not in join_line, join_line
+    scan_line = next(line for line in plan_lines if "Scan tiny" in line)
+    assert "batch=512" in scan_line, scan_line
+    # Counter pin: the row path probes once per outer row — duplicate
+    # keys are *not* deduped below the floor.
+    before = indexes.COUNTERS.lookups
+    rows = secret.execute(sql).rows
+    assert indexes.COUNTERS.lookups - before == 8
+    assert len(rows) == 8 * 10
 
 
 def test_predicate_free_scan_skips_row_copy_for_dml_targets():

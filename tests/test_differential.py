@@ -18,6 +18,18 @@ statement sees or touches — that is the paper's section 7.1 invariant
 (visibility is decided below every optimization decision), and this
 harness is its executable form.
 
+The statement stream is adversarial about **joins**: besides
+single-table DML it generates multi-join SELECTs over 2–4 tables with
+mixed equality/range join predicates and duplicate-heavy join keys
+(self-joins on a 10-value foreign key, equality on an unindexed
+column so the optimizer must hash-join).  Every such plan shape —
+index-nested-loop with batched probe dedup, hash join, nested loop,
+LEFT JOIN NULL extension — must agree with the naive executor; the
+``work_mem`` parametrization additionally re-runs the stream under
+64KB and 1KB budgets so grace-spilled hash joins are cross-checked
+row-for-row (rows, labels, rowcounts, error types) against both the
+in-memory optimized and the naive execution.
+
 Seeds come from the environment so CI can rotate them
 (``REPRO_DIFF_SEED``; on failure every assertion message carries the
 seed for reproduction).  ``REPRO_DIFF_STATEMENTS`` scales the run.
@@ -28,9 +40,12 @@ from __future__ import annotations
 import os
 import random
 
+import pytest
+
 from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
 from repro.db import Database
 from repro.db.physical import IndexRangeScan, IndexScan, Scan
+from repro.db.spill import SPILL_STATS
 from repro.errors import ReproError
 
 FIXED_SEED = 0x1FDB
@@ -44,6 +59,7 @@ CREATE ORDERED INDEX readings_dev_ts ON readings (device, ts);
 CREATE INDEX readings_kind ON readings (kind);
 CREATE TABLE devices (device INT PRIMARY KEY, owner TEXT, zone INT);
 CREATE ORDERED INDEX devices_zone ON devices (zone);
+CREATE TABLE zones (zone INT PRIMARY KEY, region TEXT);
 """
 
 KINDS = ("temp", "gps", "speed", "fuel")
@@ -58,10 +74,10 @@ class Universe:
     ``REPRO_BATCH_SIZE`` environment override.
     """
 
-    def __init__(self, *, naive: bool, batch_size=None):
+    def __init__(self, *, naive: bool, batch_size=None, work_mem=None):
         authority = AuthorityState(idgen=SeededIdGenerator(777))
         self.db = Database(authority, naive_plans=naive, seed=777,
-                           batch_size=batch_size)
+                           batch_size=batch_size, work_mem=work_mem)
         owner = authority.create_principal("owner")
         self.tag = authority.create_tag("diff-secret", owner=owner.id)
         secret = IFCProcess(authority, owner.id)
@@ -77,7 +93,7 @@ class Universe:
         by the secret session (whose label covers every row)."""
         reader = self.sessions["secret"]
         out = {}
-        for table in ("readings", "devices"):
+        for table in ("readings", "devices", "zones"):
             rows = reader.execute("SELECT * FROM " + table).rows
             out[table] = sorted(
                 ((tuple(r), tuple(sorted(r.label))) for r in rows),
@@ -121,11 +137,12 @@ class StatementGenerator:
                 "sql": "INSERT INTO readings VALUES (?, ?, ?, ?, ?)",
                 "params": params}
 
-    def _conjunct(self):
+    def _conjunct(self, alias: str = ""):
         rng = self.rng
+        prefix = alias + "." if alias else ""
         col = rng.choice(("id", "device", "ts", "kind", "value"))
         if col == "kind":
-            return "kind = ?", [rng.choice(KINDS)]
+            return "%skind = ?" % prefix, [rng.choice(KINDS)]
         if col == "id":
             value = rng.randint(0, max(self.next_id, 1))
         elif col == "device":
@@ -136,16 +153,16 @@ class StatementGenerator:
             value = round(rng.uniform(0, 100), 3)
         if rng.random() < 0.25:
             span = {"id": 40, "device": 3, "ts": 150}.get(col, 20.0)
-            return ("%s BETWEEN ? AND ?" % col,
+            return ("%s%s BETWEEN ? AND ?" % (prefix, col),
                     [value, value + rng.uniform(0, span)
                      if col == "value" else value + rng.randint(0, span)])
         op = rng.choice(("=", "<", "<=", ">", ">="))
-        return "%s %s ?" % (col, op), [value]
+        return "%s%s %s ?" % (prefix, col, op), [value]
 
-    def predicate(self):
+    def predicate(self, alias: str = ""):
         parts, params = [], []
         for _ in range(self.rng.randint(1, 3)):
-            text, values = self._conjunct()
+            text, values = self._conjunct(alias)
             parts.append(text)
             params.extend(values)
         return " AND ".join(parts), params
@@ -166,15 +183,65 @@ class StatementGenerator:
 
     def select(self) -> dict:
         rng = self.rng
+        if rng.random() < 0.45:
+            return self.select_join()
         where, params = self.predicate()
-        if rng.random() < 0.3:
-            sql = ("SELECT r.id, r.ts, r.value, d.owner FROM readings r "
-                   "JOIN devices d ON d.device = r.device WHERE " + where)
-        elif rng.random() < 0.5:
+        if rng.random() < 0.5:
             sql = ("SELECT device, COUNT(*), MAX(value) FROM readings "
                    "WHERE %s GROUP BY device" % where)
         else:
             sql = "SELECT * FROM readings WHERE " + where
+        return {"kind": "select", "session": self.session_kind(),
+                "sql": sql, "params": params}
+
+    #: Multi-join SELECT templates (2–4 tables).  Join keys are chosen
+    #: adversarially: ``r.device`` has only 10 distinct values over
+    #: hundreds of readings (duplicate-heavy index-loop probes),
+    #: ``ts`` and ``owner`` have no usable index (forced hash joins —
+    #: the ones that spill under a work_mem budget), and the templates
+    #: mix equality joins with range/inequality residuals and LEFT
+    #: JOIN NULL extension.  ``{w}`` receives a seeded predicate on the
+    #: ``r`` alias to keep outputs bounded.
+    JOIN_TEMPLATES = (
+        # 2 tables, indexed FK: batched IndexLoopJoin probe dedup.
+        ("SELECT r.id, r.ts, r.value, d.owner FROM readings r "
+         "JOIN devices d ON d.device = r.device WHERE {w}"),
+        # 2 tables, unindexed equality key: HashJoin (spills when
+        # work_mem is tight), duplicate-heavy on purpose.
+        ("SELECT r.id, r2.id, r2.value FROM readings r "
+         "JOIN readings r2 ON r2.ts = r.ts WHERE {w}"),
+        # Mixed eq + range join condition: hash join with residual.
+        ("SELECT r.id, r2.id FROM readings r "
+         "JOIN readings r2 ON r2.ts = r.ts AND r2.value >= r.value "
+         "WHERE {w}"),
+        # LEFT JOIN over the unindexed key: NULL-extended spill probes.
+        ("SELECT r.id, r2.id FROM readings r "
+         "LEFT JOIN readings r2 ON r2.ts = r.ts AND r2.kind = r.kind "
+         "WHERE {w}"),
+        # 3 tables: index loop + index loop over tiny zones.
+        ("SELECT r.id, d.owner, z.region FROM readings r "
+         "JOIN devices d ON d.device = r.device "
+         "JOIN zones z ON z.zone = d.zone WHERE {w}"),
+        # 3 tables with a pure non-equi join: nested loop (batched
+        # predicate over the inner side) above an index loop.
+        ("SELECT r.id, d.owner, z.region FROM readings r "
+         "JOIN devices d ON d.device = r.device "
+         "JOIN zones z ON z.zone < d.zone WHERE {w}"),
+        # 4 tables, duplicate-heavy self-join + dimension chain.
+        ("SELECT r.id, r2.id, d.owner, z.region FROM readings r "
+         "JOIN readings r2 ON r2.device = r.device "
+         "JOIN devices d ON d.device = r.device "
+         "JOIN zones z ON z.zone = d.zone "
+         "WHERE {w} AND r2.value <= r.value"),
+        # Aggregation over a hash join (labels union across tables).
+        ("SELECT r2.kind, COUNT(*), MAX(r2.value) FROM readings r "
+         "JOIN readings r2 ON r2.ts = r.ts WHERE {w} "
+         "GROUP BY r2.kind"),
+    )
+
+    def select_join(self) -> dict:
+        where, params = self.predicate("r")
+        sql = self.rng.choice(self.JOIN_TEMPLATES).format(w=where)
         return {"kind": "select", "session": self.session_kind(),
                 "sql": sql, "params": params}
 
@@ -203,12 +270,16 @@ class StatementGenerator:
 def _populate(universes, gen: StatementGenerator) -> None:
     rng = gen.rng
     device_rows = [(d, "owner%d" % (d % 4), d % 3) for d in range(10)]
+    zone_rows = [(z, "region%d" % (z % 2)) for z in range(3)]
     inserts = [gen.insert_reading() for _ in range(250)]
     for universe in universes:
         for device, owner, zone in device_rows:
             universe.sessions["public"].execute(
                 "INSERT INTO devices VALUES (?, ?, ?)",
                 (device, owner, zone))
+        for zone, region in zone_rows:
+            universe.sessions["public"].execute(
+                "INSERT INTO zones VALUES (?, ?)", (zone, region))
     for op in inserts:
         for universe in universes:
             status = run_one(universe, op)
@@ -225,16 +296,19 @@ def _plan_shapes(db) -> set:
 
 
 def _run_differential(seed: int, n_statements: int,
-                      batch_size=None) -> None:
+                      batch_size=None, work_mem=None,
+                      require_spill: bool = False) -> None:
     tag = "[REPRO_DIFF_SEED=%d]" % seed
     rng = random.Random(seed)
     gen = StatementGenerator(rng)
-    optimized = Universe(naive=False, batch_size=batch_size)
-    reference = Universe(naive=True)
+    optimized = Universe(naive=False, batch_size=batch_size,
+                         work_mem=work_mem)
+    reference = Universe(naive=True, work_mem=0)
     universes = (optimized, reference)
     _populate(universes, gen)
     assert optimized.state() == reference.state(), \
         "%s populated state diverged" % tag
+    spills_before = SPILL_STATS.spills
 
     executed = 0
     optimized_shapes, reference_shapes = set(), set()
@@ -260,6 +334,11 @@ def _run_differential(seed: int, n_statements: int,
     # never have strayed from full scans.
     assert optimized_shapes & {IndexScan, IndexRangeScan}, optimized_shapes
     assert reference_shapes <= {Scan}, reference_shapes
+    # Under a tight budget the run must actually have exercised the
+    # grace-spill machinery, or the work_mem matrix proves nothing.
+    if require_spill:
+        assert SPILL_STATS.spills > spills_before, \
+            "%s no hash join spilled under work_mem=%r" % (tag, work_mem)
 
 
 def test_differential_seeded():
@@ -286,3 +365,21 @@ def test_differential_batch_size_two():
     """Two-row batches: the smallest size where a batch can actually
     mix labels, visibilities, and predicate outcomes."""
     _run_differential(SEED ^ 0xBA7C2, 150, batch_size=2)
+
+
+@pytest.mark.parametrize("work_mem,batch_size", [
+    (64 * 1024, None),
+    (64 * 1024, 1),
+    (1024, None),
+    (1024, 1),
+])
+def test_differential_work_mem(work_mem, batch_size):
+    """The spill matrix: the same adversarial join stream under 64KB
+    and 1KB budgets, at the default and degenerate batch sizes.  A 1KB
+    budget forces every hash-join build over a few rows through the
+    grace partitioner (recursively), so spilled and in-memory
+    executions are cross-checked row-for-row against the naive
+    executor — including labels, rowcounts, and error types."""
+    _run_differential(SEED ^ 0x53A1 ^ work_mem ^ (batch_size or 0), 120,
+                      batch_size=batch_size, work_mem=work_mem,
+                      require_spill=(work_mem <= 1024))
