@@ -544,6 +544,7 @@ class Database:
     # statistics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
+        from .physical import EXEC_COUNTERS
         from .spill import SPILL_STATS
         cache = self.buffer_cache.stats
         return {
@@ -552,6 +553,7 @@ class Database:
             # instances in one process this aggregates across them —
             # diff before/after around the work of interest.
             "spill": SPILL_STATS.snapshot(),
+            "exec": EXEC_COUNTERS.snapshot(),
             "statements": self.statements_executed,
             "rows_inserted": self.rows_inserted,
             "rows_updated": self.rows_updated,

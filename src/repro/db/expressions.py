@@ -937,61 +937,67 @@ def reads_columns_only(node: Expr) -> bool:
 # ---------------------------------------------------------------------------
 
 def compile_batch(compiler: "ExprCompiler", node: Expr) -> Callable:
-    """Compile ``node`` to a *batch* closure ``fn(rows, ctx) -> list``.
+    """Compile ``node`` to a *batch* closure ``fn(batch, ctx) -> list``.
 
     The returned function evaluates the expression for every row of a
-    batch at once, returning one value per row.  Leaves and the common
-    predicate shapes (column/slot references, comparisons, ``AND``,
-    ``IS NULL``) get tight list-comprehension forms; everything else
+    :class:`~repro.db.physical.RowBatch` at once, returning one value
+    per row.  The kernels are **column-at-a-time**: leaves pull whole
+    column arrays (``batch.column(i)`` — zero-copy on a columnar batch
+    with no selection) and the common predicate shapes (comparisons,
+    ``AND``, ``IS NULL``) combine those arrays element-wise, so a
+    predicate only ever touches the columns it reads.  Everything else
     falls back to mapping the ordinary row closure from
-    :meth:`ExprCompiler.compile` over the batch, so batch compilation
-    can never change semantics — only the loop shape.
+    :meth:`ExprCompiler.compile` over ``batch.values`` (widening the
+    batch), so batch compilation can never change semantics — only the
+    loop shape.
 
-    ``AND`` keeps the row compiler's short-circuit contract: later
-    conjuncts are evaluated only for rows still alive (not yet FALSE),
+    ``AND`` keeps the row compiler's short-circuit contract via a
+    selection mask: later conjuncts are evaluated only for rows still
+    alive (not yet FALSE) by selecting the alive sub-batch — columnar
+    batches compose the selection vector without copying column data —
     so an expression like ``x <> 0 AND 10 / x > 2`` raises for exactly
     the rows the row-at-a-time executor would have raised for.
     """
     if isinstance(node, Literal):
         value = node.value
-        return lambda rows, ctx: [value] * len(rows)
+        return lambda batch, ctx: [value] * len(batch)
     if isinstance(node, Param):
         row_fn = compiler.compile(node)
-        return lambda rows, ctx: [row_fn([], ctx)] * len(rows)
+        return lambda batch, ctx: [row_fn([], ctx)] * len(batch)
     if isinstance(node, ColumnRef):
         depth, index = compiler.scope.resolve_depth(node.name, node.table)
         if depth == 0:
-            return lambda rows, ctx: [row[index] for row in rows]
-        def outer(rows, ctx, depth=depth, index=index):
-            return [ctx.outer_stack[-depth][index]] * len(rows)
+            return lambda batch, ctx: batch.column(index)
+        def outer(batch, ctx, depth=depth, index=index):
+            return [ctx.outer_stack[-depth][index]] * len(batch)
         return outer
     if isinstance(node, (SlotRef, AggSlotRef)):
         index = node.slot
-        return lambda rows, ctx: [row[index] for row in rows]
+        return lambda batch, ctx: batch.column(index)
     if isinstance(node, IsNull):
         operand = compile_batch(compiler, node.operand)
         if node.negated:
-            return lambda rows, ctx: [v is not None
-                                      for v in operand(rows, ctx)]
-        return lambda rows, ctx: [v is None for v in operand(rows, ctx)]
+            return lambda batch, ctx: [v is not None
+                                       for v in operand(batch, ctx)]
+        return lambda batch, ctx: [v is None for v in operand(batch, ctx)]
     if isinstance(node, Compare):
         fn = _CMP_FUNCS[node.op]
         left = compile_batch(compiler, node.left)
         right = compile_batch(compiler, node.right)
-        def compare(rows, ctx):
+        def compare(batch, ctx):
             return [None if lv is None or rv is None else fn(lv, rv)
-                    for lv, rv in zip(left(rows, ctx), right(rows, ctx))]
+                    for lv, rv in zip(left(batch, ctx), right(batch, ctx))]
         return compare
     if isinstance(node, And):
         parts = [compile_batch(compiler, item) for item in node.items]
-        def conjunction(rows, ctx):
-            n = len(rows)
+        def conjunction(batch, ctx):
+            n = len(batch)
             result: list = [True] * n
             alive = list(range(n))
             for part in parts:
                 if not alive:
                     break
-                sub = [rows[i] for i in alive]
+                sub = batch if len(alive) == n else batch.select(alive)
                 vals = part(sub, ctx)
                 survivors = []
                 for j, i in enumerate(alive):
@@ -1007,7 +1013,7 @@ def compile_batch(compiler: "ExprCompiler", node: Expr) -> Callable:
             return result
         return conjunction
     row_fn = compiler.compile(node)
-    return lambda rows, ctx: [row_fn(row, ctx) for row in rows]
+    return lambda batch, ctx: [row_fn(row, ctx) for row in batch.values]
 
 
 def rewrite(node: Expr, mapping: Dict[Expr, Expr]) -> Expr:

@@ -66,6 +66,32 @@ def collect_columns(node: ex.Expr, out: List[ex.ColumnRef],
                             collect_columns(x, out, opaque)
 
 
+def collect_slots(node: ex.Expr, out: List[int]) -> None:
+    """Collect flat row positions read via :class:`~…expressions.SlotRef`
+    (``*`` expansion emits them, so projection analysis must see them
+    alongside named column references).  Subquery interiors are skipped
+    — :func:`collect_columns` already marks those opaque."""
+    if isinstance(node, ex.SlotRef):
+        out.append(node.slot)
+        return
+    if isinstance(node, (ex.Exists, ex.InSelect, ex.ScalarSelect)):
+        if isinstance(node, ex.InSelect):
+            collect_slots(node.operand, out)
+        return
+    for attr in getattr(node, "__slots__", ()):
+        child = getattr(node, attr)
+        if isinstance(child, ex.Expr):
+            collect_slots(child, out)
+        elif isinstance(child, tuple):
+            for item in child:
+                if isinstance(item, ex.Expr):
+                    collect_slots(item, out)
+                elif isinstance(item, tuple) and len(item) == 2:
+                    for x in item:
+                        if isinstance(x, ex.Expr):
+                            collect_slots(x, out)
+
+
 @dataclass
 class SourceEntry:
     """One FROM item in the left-deep join sequence.
@@ -92,6 +118,10 @@ class SourceEntry:
     post_filters: List[ex.Expr] = field(default_factory=list)
     est_rows: Optional[float] = None             # after pushed predicates
     est_cost: Optional[float] = None             # cost of producing them
+    #: Projection pushdown: sorted stored-column positions anything
+    #: above this entry's scan reads (None = all columns — the default,
+    #: and always the case for DML targets and naive plans).
+    needed: Optional[Tuple[int, ...]] = None
 
 
 @dataclass

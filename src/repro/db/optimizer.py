@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import CatalogError, DatabaseError
 from . import expressions as ex
 from .logical import LogicalDML, LogicalQuery, SourceEntry, \
-    collect_columns, relayout, split_conjuncts
+    collect_columns, collect_slots, relayout, split_conjuncts
 from .spill import estimate_spill_plan, estimated_tuple_bytes
 from .stats import (
     DEFAULT_DERIVED_ROWS,
@@ -535,6 +535,8 @@ class Optimizer:
                 self.optimize(entry.derived)
         self._reorder_entries(query)
         join_extra = self._classify_where(query)
+        if not self.naive:
+            self._project_columns(query, join_extra)
         cum_rows = cum_cost = 0.0
         for i, entry in enumerate(query.entries):
             if entry.table is not None:
@@ -779,6 +781,102 @@ class Optimizer:
                 query.residual_where.append(conjunct)
         return join_extra
 
+    # -- rule 3b: projection pushdown --------------------------------------
+    def _project_columns(self, query: LogicalQuery,
+                         join_extra: List[List[ex.Expr]]) -> None:
+        """Compute each base-table entry's *needed* column set.
+
+        Walks every expression evaluated **above** the scans — output
+        items, residual WHERE, join conditions (ON plus the multi-table
+        WHERE conjuncts in ``join_extra``), GROUP BY, HAVING, ORDER BY,
+        LIMIT/OFFSET — and resolves each column reference and ``*``-slot
+        back to its source entry.  Entries whose referenced set is
+        narrower than their schema get ``entry.needed`` so the scan
+        materializes only those stored columns.
+
+        Pushed scan predicates (``entry.pushed`` and access-path
+        residuals) are deliberately *not* walked: they evaluate against
+        stored tuple versions below materialization, so they never
+        constrain which columns the scan must copy out.  The ``_label``
+        pseudo-column is ignored too — labels always ride along
+        per-row, because the information-flow rules are tuple-granular.
+
+        Conservative bail-outs (every entry keeps full width): any
+        subquery anywhere (its correlated interior may read arbitrary
+        outer columns), and any reference the scope cannot resolve.
+        """
+        entries = query.entries
+        scope = query.scope
+        select = query.select
+        exprs: List[ex.Expr] = [expr for expr, _name in query.items]
+        exprs.extend(query.residual_where)
+        for extra in join_extra:
+            exprs.extend(extra)
+        for entry in entries[1:]:
+            exprs.extend(split_conjuncts(entry.join_on))
+        exprs.extend(select.group_by)
+        if select.having is not None:
+            exprs.append(select.having)
+        for order_item in select.order_by:
+            expr = order_item.expr
+            # Mirror the planner's _resolve_order_expr: ordinals and
+            # bare output aliases name select items already walked.
+            if isinstance(expr, ex.Literal) and isinstance(expr.value,
+                                                           int):
+                continue
+            if isinstance(expr, ex.ColumnRef) and expr.table is None \
+                    and expr.name in query.columns:
+                continue
+            exprs.append(expr)
+        if select.limit is not None:
+            exprs.append(select.limit)
+        if select.offset is not None:
+            exprs.append(select.offset)
+
+        refs: List[ex.ColumnRef] = []
+        slots: List[int] = []
+        opaque = [False]
+        for expr in exprs:
+            collect_columns(expr, refs, opaque)
+            collect_slots(expr, slots)
+        if opaque[0]:
+            return
+
+        starts: List[int] = []
+        base = 0
+        for entry in entries:
+            starts.append(base)
+            base += entry.width
+
+        needed: List[set] = [set() for _ in entries]
+
+        def note(flat: int) -> None:
+            for j in range(len(entries) - 1, -1, -1):
+                if flat >= starts[j]:
+                    local = flat - starts[j]
+                    if local < len(entries[j].columns):
+                        needed[j].add(local)
+                    return
+
+        for ref in refs:
+            try:
+                depth, flat = scope.resolve_depth(ref.name, ref.table)
+            except CatalogError:
+                return                       # unresolvable: play safe
+            if depth:
+                continue                     # outer scopes aren't ours
+            note(flat)
+        for slot in slots:
+            if not 0 <= slot < base:
+                return
+            note(slot)
+
+        for j, entry in enumerate(entries):
+            if entry.table is None:
+                continue                     # derived: opaque boundary
+            if len(needed[j]) < len(entry.columns):
+                entry.needed = tuple(sorted(needed[j]))
+
     # -- rule 4: access-path selection -------------------------------------
     def _choose_access(self, entry: SourceEntry, scope_full: ex.Scope):
         from .indexes import OrderedIndex
@@ -789,10 +887,20 @@ class Optimizer:
         total_sel = self._filtered_selectivity(entry.pushed, entry.alias,
                                                local_scope, stats)
         pushed = entry.pushed
+        # Projection pushdown makes a narrow scan cheaper per row: it
+        # copies fewer cells out of the heap.  The factor is applied
+        # uniformly to every candidate's per-row term (visibility and
+        # predicate work don't shrink), so it never flips the access
+        # choice for one entry — it lowers the entry's est_cost so join
+        # costing credits narrow build/probe sides.
+        width_factor = 1.0
+        if entry.needed is not None:
+            width_factor = 0.5 + 0.5 * (len(entry.needed) + 1) \
+                / (len(entry.columns) + 1)
 
         # Candidate 1: full heap scan (always available).
         candidates: List[Tuple[float, int, object]] = [
-            (COST_ROW * rows, 2, FullScanAccess(list(pushed)))]
+            (COST_ROW * rows * width_factor, 2, FullScanAccess(list(pushed)))]
 
         # Candidate 2: best equality-index probe.
         eq_cols = {col: value for col, (_c, value) in bounds.eq.items()}
@@ -807,7 +915,8 @@ class Optimizer:
                 residual = [c for c in pushed
                             if not _covered_by(c, covered, entry.alias,
                                                local_scope, eq_cols)]
-                cost = COST_PROBE + COST_ROW * rows * key_sel
+                cost = COST_PROBE + COST_ROW * rows * key_sel \
+                    * width_factor
                 candidates.append((cost, 0, IndexEqAccess(
                     index=index, key_columns=key_columns,
                     key_exprs=[eq_cols[c] for c in key_columns],
@@ -850,7 +959,7 @@ class Optimizer:
                 key_sel *= self._conjunct_selectivity(
                     conjunct, entry.alias, local_scope, stats)
             residual = [c for c in pushed if id(c) not in consumed]
-            cost = COST_PROBE + COST_ROW * rows * key_sel
+            cost = COST_PROBE + COST_ROW * rows * key_sel * width_factor
             candidates.append((cost, 1, IndexRangeAccess(
                 index=index, eq_columns=tuple(prefix),
                 eq_exprs=[bounds.eq[c][1] for c in prefix],
@@ -871,6 +980,27 @@ class Optimizer:
         return access
 
     # -- rule 5: join-strategy selection -----------------------------------
+    def _row_bytes(self, entry: SourceEntry, stats) -> float:
+        """Expected in-memory bytes of one execution row from this entry.
+
+        Prefers per-column widths measured at ANALYZE time
+        (:attr:`~repro.db.stats.TableStats.avg_row_bytes`) over the
+        synthetic width-only formula, and restricts the sum to the
+        projected column set when pushdown narrowed the entry —
+        projected-away slots ride along as ``None`` at 8 bytes each, so
+        a narrow build side earns a matching memory-budget credit here
+        and at run time (:func:`~repro.db.spill.estimate_row_bytes`).
+        """
+        if entry.table is None:
+            return estimated_tuple_bytes(len(entry.columns))
+        names = entry.columns if entry.needed is None \
+            else [entry.columns[p] for p in entry.needed]
+        stripped = len(entry.columns) - len(names)
+        measured = stats.avg_row_bytes(names) if stats is not None else None
+        if measured is not None:
+            return measured + 8.0 * stripped
+        return estimated_tuple_bytes(len(names)) + 8.0 * stripped
+
     def _join_pair_selectivity(self, table: Table, column: str,
                                stats) -> float:
         """P(right.col = probe value) per right row."""
@@ -936,7 +1066,7 @@ class Optimizer:
         # *and* probe rows — which is exactly what makes the optimizer
         # prefer an index join (no build memory) or a smaller build
         # side when the budget is tight.
-        row_bytes = estimated_tuple_bytes(len(entry.columns))
+        row_bytes = self._row_bytes(entry, stats)
         build_bytes = right_rows * row_bytes
         spill_partitions, part_bytes, spill_levels = estimate_spill_plan(
             build_bytes, self.work_mem)

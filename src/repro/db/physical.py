@@ -73,26 +73,198 @@ ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
 DEFAULT_BATCH_SIZE = 1024
 
 
-class RowBatch:
-    """A batch of execution rows in columnar-of-rows layout.
+class ExecCounters:
+    """Process-wide executor counters, in the ``rules.COUNTERS`` mold
+    (diff a snapshot around the work of interest).
 
-    Three parallel lists: ``values`` (one execution row — a list — per
-    entry), ``labels`` (the row's interned secrecy :class:`Label`), and
-    ``ilabels`` (the integrity label).  Row ``i`` of a batch is exactly
-    the triple ``(values[i], labels[i], ilabels[i])`` that the
-    row-at-a-time interface would have yielded; batching changes the
-    loop shape, never the data.
+    ``columns_materialized`` counts *cells* (column values) the scans
+    copied out of stored tuples into batch columns — the observable
+    proof of projection pushdown: a scan projecting 2 of N columns
+    materializes ``2 × rows`` cells, batch-size invariant.
+    ``rows_widened`` counts rows rebuilt to row-major form from a
+    columnar batch (the :attr:`RowBatch.values` compatibility shim);
+    a well-pushed pipeline widens each output row at most once, at the
+    cursor boundary.
     """
 
-    __slots__ = ("values", "labels", "ilabels")
+    __slots__ = ("columns_materialized", "rows_widened")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.columns_materialized = 0
+        self.rows_widened = 0
+
+    def snapshot(self) -> dict:
+        return {"columns_materialized": self.columns_materialized,
+                "rows_widened": self.rows_widened}
+
+
+#: The module-wide counter instance.
+EXEC_COUNTERS = ExecCounters()
+
+
+class RowBatch:
+    """A batch of execution rows, stored row-major or columnar.
+
+    Logically a batch is three parallel sequences: execution rows,
+    interned secrecy :class:`Label` objects, and integrity labels — row
+    ``i`` is exactly the ``(values[i], labels[i], ilabels[i])`` triple
+    the row-at-a-time interface would have yielded.  Physically the
+    value side has two layouts:
+
+    * **row-major** (the :meth:`__init__` constructor): ``values`` is a
+      list of per-row lists — what row-native operators produce;
+    * **columnar** (:meth:`from_columns`): one Python list *per
+      column*, where a ``None`` column slot means the planner proved
+      the column is never read (projection pushdown) and it was never
+      materialized; reading it yields SQL NULLs.
+
+    ``labels``/``ilabels`` are always per-row compact lists — label
+    checks are tuple-granularity in the paper's model (a tag protects a
+    row, not a cell), and the interned label objects already behave as
+    a dictionary-encoded column.
+
+    A columnar batch may additionally carry a **selection vector**
+    (``_sel``): row ``i`` of the batch reads column cells at physical
+    index ``_sel[i]``.  :meth:`select` composes selections instead of
+    copying column data, so Filter never copies surviving rows.
+
+    :attr:`values` is a lazy property: on a columnar batch the first
+    access widens the batch back to row-major (counted in
+    ``EXEC_COUNTERS.rows_widened``) and caches the result, so a
+    row-native consumer pays the conversion exactly once per batch.
+    """
+
+    __slots__ = ("labels", "ilabels", "_rows", "_columns", "_sel")
 
     def __init__(self, values: list, labels: list, ilabels: list):
-        self.values = values
+        self._rows = values
+        self._columns = None
+        self._sel = None
         self.labels = labels
         self.ilabels = ilabels
 
+    @classmethod
+    def from_columns(cls, columns: list, labels: list,
+                     ilabels: list) -> "RowBatch":
+        """Columnar batch: ``columns[j]`` is column ``j``'s value list,
+        or ``None`` for a projected-away (never-materialized) column."""
+        batch = cls.__new__(cls)
+        batch._rows = None
+        batch._columns = columns
+        batch._sel = None
+        batch.labels = labels
+        batch.ilabels = ilabels
+        return batch
+
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self.labels)
+
+    @property
+    def width(self) -> int:
+        cols = self._columns
+        if cols is not None:
+            return len(cols)
+        rows = self._rows
+        return len(rows[0]) if rows else 0
+
+    def column(self, index: int) -> list:
+        """Column ``index`` as a compact list (selection applied).
+
+        On a row-major batch the extraction is computed once and
+        cached; on a columnar batch with no selection this is the
+        stored array itself, zero-copy.  A projected-away column reads
+        as all-NULL.
+        """
+        cols = self._columns
+        if cols is None:
+            rows = self._rows
+            width = len(rows[0]) if rows else 0
+            cols = self._columns = [None] * width
+        col = cols[index] if index < len(cols) else None
+        if col is None:
+            rows = self._rows
+            if rows is None or self._sel is not None:
+                return [None] * len(self.labels)
+            col = [row[index] for row in rows]
+            cols[index] = col
+            return col
+        sel = self._sel
+        if sel is None:
+            return col
+        return [col[i] for i in sel]
+
+    def columns(self) -> list:
+        """All columns as compact lists; ``None`` marks a column that
+        was projected away (so consumers can keep not materializing
+        it)."""
+        cols = self._columns
+        if cols is None or self._rows is not None:
+            # Row-major (or already widened): extract per column.
+            return [self.column(i) for i in range(self.width)]
+        if self._sel is None:
+            return list(cols)
+        sel = self._sel
+        return [None if col is None else [col[i] for i in sel]
+                for col in cols]
+
+    @property
+    def values(self) -> list:
+        """Row-major view (one list per row), widened lazily from a
+        columnar batch and cached."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = self._widen()
+        return rows
+
+    def _widen(self) -> list:
+        cols = self._columns
+        sel = self._sel
+        n = len(self.labels)
+        EXEC_COUNTERS.rows_widened += n
+        if not n:
+            return []
+        if sel is None and all(col is not None for col in cols):
+            return [list(row) for row in zip(*cols)]
+        width = len(cols)
+        rows = [[None] * width for _ in range(n)]
+        for j, col in enumerate(cols):
+            if col is None:
+                continue
+            if sel is None:
+                for i in range(n):
+                    rows[i][j] = col[i]
+            else:
+                for i, k in enumerate(sel):
+                    rows[i][j] = col[k]
+        return rows
+
+    def select(self, keep) -> "RowBatch":
+        """The sub-batch at row indexes ``keep`` (in order).
+
+        Columnar batches share their column arrays with the parent and
+        only compose the selection vector — this is the no-copy path
+        Filter relies on.  Labels compact eagerly (they are per-row
+        state either way).
+        """
+        labels = self.labels
+        ilabels = self.ilabels
+        out_labels = [labels[i] for i in keep]
+        out_ilabels = [ilabels[i] for i in keep]
+        if self._rows is None:
+            batch = RowBatch.__new__(RowBatch)
+            batch._rows = None
+            batch._columns = self._columns
+            sel = self._sel
+            batch._sel = (list(keep) if sel is None
+                          else [sel[i] for i in keep])
+            batch.labels = out_labels
+            batch.ilabels = out_ilabels
+            return batch
+        rows = self._rows
+        return RowBatch([rows[i] for i in keep], out_labels, out_ilabels)
 
     def rows(self) -> Iterator[ExecRow]:
         return zip(self.values, self.labels, self.ilabels)
@@ -280,16 +452,33 @@ class Scan(Plan):
     the ``list(...) + [label]`` output-row copy.  Predicate-free paths
     skip the copy wherever the row itself is not the output
     (``versions()``), and build it exactly once where it is (``rows()``).
+
+    ``needed`` is the projection the optimizer pushed down: the sorted
+    tuple of stored-column positions anything above this scan reads
+    (``None`` = all of them).  The batched scan materializes *only*
+    those columns into its columnar output — the rest stay inside the
+    stored tuples and read as NULL — which is safe because the planner
+    proved no expression above the scan references them.  Predicates
+    pushed *into* the scan still see the full stored tuple, and the
+    row-at-a-time paths (``rows()`` for the naive executor,
+    ``versions()`` for DML xmax stamping) always build full-width rows.
     """
 
     def __init__(self, table: Table, predicate: Optional[Callable],
                  declass: Label, view_grants: List[Tuple[ViewDef, Label]],
-                 predicate_on_values: bool = False):
+                 predicate_on_values: bool = False,
+                 needed: Optional[Tuple[int, ...]] = None):
         self.table = table
         self.predicate = predicate
         self.declass = declass
         self.view_grants = view_grants
         self.predicate_on_values = predicate_on_values
+        self.needed = needed
+        #: Projected column names for EXPLAIN (``cols=…``); None when
+        #: the scan materializes full width.
+        self.needed_names = (
+            None if needed is None
+            else [table.schema.column_names[p] for p in needed])
 
     def _check_view_authority(self, ctx: ExecContext) -> None:
         for view, tags in self.view_grants:
@@ -433,6 +622,13 @@ class Scan(Plan):
         per-row path (each row's emitted label is its *stripped* label,
         so the uniform-label shortcut does not apply), where the
         globally memoized ``strip``/``covers`` still serve them.
+
+        Output is **columnar**: surviving versions are collected first,
+        then only the ``needed`` stored columns are materialized into
+        per-column arrays (``EXEC_COUNTERS.columns_materialized``
+        counts the copied cells), with the emitted labels doubling as
+        the ``_label`` pseudo-column.  Predicates still evaluate
+        against the stored tuple, before any materialization.
         """
         if not self.batch_size:
             yield from Plan.batches(self, ctx)
@@ -444,12 +640,13 @@ class Scan(Plan):
         txn_manager = session.db.txn_manager
         table = self.table
         predicate = self.predicate
-        on_values = self.predicate_on_values
         registry = ctx.registry
         read_label = ctx.read_label
         declass = self.declass
         check_labels = ctx.ifc_enabled
         size = self.batch_size
+        ncols = len(table.schema.column_names)
+        positions = (range(ncols) if self.needed is None else self.needed)
         # Label-run batching applies when every emitted label is the
         # stored label (no declassification): one covers() per distinct
         # interned label per batch.  Declassifying views take the
@@ -459,7 +656,7 @@ class Scan(Plan):
         for chunk in self._candidate_chunks(ctx, size):
             _touch_page_runs(table, chunk)
             live = _visible_versions(chunk, txn, txn_manager)
-            out_values: list = []
+            kept: list = []
             out_labels: list = []
             out_ilabels: list = []
             memo: Dict[Label, bool] = {}
@@ -477,21 +674,22 @@ class Scan(Plan):
                         label = strip(registry, label, declass)
                     if not covers(registry, label, read_label):
                         continue
-                if predicate is not None and on_values:
-                    if not predicate(version.values, ctx):
-                        continue
-                    values = list(version.values)
-                    values.append(label)
-                else:
-                    values = list(version.values)
-                    values.append(label)
-                    if predicate is not None and not predicate(values, ctx):
-                        continue
-                out_values.append(values)
+                if predicate is not None and not self._check_predicate(
+                        predicate, version, label, ctx):
+                    continue
+                kept.append(version)
                 out_labels.append(label)
                 out_ilabels.append(version.ilabel)
-            if out_values:
-                yield RowBatch(out_values, out_labels, out_ilabels)
+            if not kept:
+                continue
+            columns: list = [None] * (ncols + 1)
+            for p, col in zip(positions, table.materialize_columns(
+                    kept, positions)):
+                columns[p] = col
+            columns[ncols] = out_labels       # the _label pseudo-column
+            EXEC_COUNTERS.columns_materialized += \
+                len(positions) * len(kept)
+            yield RowBatch.from_columns(columns, out_labels, out_ilabels)
 
 
 class IndexScan(Scan):
@@ -500,9 +698,10 @@ class IndexScan(Scan):
     def __init__(self, table: Table, index, key_fns: List[Callable],
                  predicate: Optional[Callable], declass: Label,
                  view_grants: List[Tuple[ViewDef, Label]],
-                 predicate_on_values: bool = False):
+                 predicate_on_values: bool = False,
+                 needed: Optional[Tuple[int, ...]] = None):
         super().__init__(table, predicate, declass, view_grants,
-                         predicate_on_values)
+                         predicate_on_values, needed)
         self.index = index
         self.key_fns = key_fns
 
@@ -528,9 +727,10 @@ class IndexRangeScan(Scan):
                  include_low: bool, include_high: bool,
                  predicate: Optional[Callable], declass: Label,
                  view_grants: List[Tuple[ViewDef, Label]],
-                 predicate_on_values: bool = False):
+                 predicate_on_values: bool = False,
+                 needed: Optional[Tuple[int, ...]] = None):
         super().__init__(table, predicate, declass, view_grants,
-                         predicate_on_values)
+                         predicate_on_values, needed)
         self.index = index
         self.eq_fns = eq_fns
         self.low_fn = low_fn
@@ -590,21 +790,20 @@ class Filter(Plan):
         predicate = self.predicate
         batch_predicate = self.batch_predicate
         for batch in self.child.batches(ctx):
-            values = batch.values
             if batch_predicate is not None:
-                flags = batch_predicate(values, ctx)
+                # Column-at-a-time evaluation: touches only the columns
+                # the predicate reads.
+                flags = batch_predicate(batch, ctx)
             else:
-                flags = [predicate(row, ctx) for row in values]
+                flags = [predicate(row, ctx) for row in batch.values]
             if all(flags):
                 yield batch
                 continue
-            labels = batch.labels
-            ilabels = batch.ilabels
             keep = [i for i, flag in enumerate(flags) if flag]
             if keep:
-                yield RowBatch([values[i] for i in keep],
-                               [labels[i] for i in keep],
-                               [ilabels[i] for i in keep])
+                # select() composes the selection vector on columnar
+                # batches: surviving rows are never copied.
+                yield batch.select(keep)
 
 
 class NestedLoopJoin(Plan):
@@ -659,6 +858,7 @@ class NestedLoopJoin(Plan):
         outer = self.kind == "left"
         pad = [None] * self.right_width
         size = self.batch_size
+        no_labels = [None] * len(right_rows)
         out_values: list = []
         out_labels: list = []
         out_ilabels: list = []
@@ -673,7 +873,8 @@ class NestedLoopJoin(Plan):
                 if on is None:
                     flags = None                 # cross join: all match
                 elif batch_on is not None:
-                    flags = batch_on(combined_rows, ctx)
+                    flags = batch_on(RowBatch(combined_rows, no_labels,
+                                              no_labels), ctx)
                 else:
                     flags = [on(row, ctx) for row in combined_rows]
                 matched = False
@@ -1197,8 +1398,9 @@ class AggregateNode(Plan):
 class Project(Plan):
     """Output projection; ``batch_fns`` are the batch-compiled column
     evaluators (one per output column) used in batch mode — each runs
-    over the whole batch, columnar style, and the rows are zipped back
-    together."""
+    over the whole batch, columnar style, and the results *are* the
+    output batch's columns (no per-row zip-back; widening to row-major
+    happens lazily, at the first row-native consumer)."""
 
     def __init__(self, child: Plan, fns: List[Callable],
                  batch_fns: Optional[List[Callable]] = None):
@@ -1221,15 +1423,12 @@ class Project(Plan):
         fns = self.fns
         batch_fns = self.batch_fns
         for batch in self.child.batches(ctx):
-            values = batch.values
             if batch_fns is not None:
-                columns = [fn(values, ctx) for fn in batch_fns]
-                if len(columns) == 1:
-                    out = [[v] for v in columns[0]]
-                else:
-                    out = [list(row) for row in zip(*columns)]
-            else:
-                out = [[fn(row, ctx) for fn in fns] for row in values]
+                columns = [fn(batch, ctx) for fn in batch_fns]
+                yield RowBatch.from_columns(columns, batch.labels,
+                                            batch.ilabels)
+                continue
+            out = [[fn(row, ctx) for fn in fns] for row in batch.values]
             yield RowBatch(out, batch.labels, batch.ilabels)
 
 
@@ -1294,8 +1493,6 @@ class Distinct(Plan):
         add = seen.add
         for batch in self.child.batches(ctx):
             values = batch.values
-            labels = batch.labels
-            ilabels = batch.ilabels
             keep = []
             for i, row in enumerate(values):
                 key = tuple(row)
@@ -1306,9 +1503,7 @@ class Distinct(Plan):
             if len(keep) == len(values):
                 yield batch
             elif keep:
-                yield RowBatch([values[i] for i in keep],
-                               [labels[i] for i in keep],
-                               [ilabels[i] for i in keep])
+                yield batch.select(keep)
 
 
 class Limit(Plan):
@@ -1344,7 +1539,7 @@ class Limit(Plan):
         skipped = 0
         produced = 0
         for batch in self.child.batches(ctx):
-            n = len(batch.values)
+            n = len(batch)
             start = 0
             if skipped < offset:
                 take = min(offset - skipped, n)
@@ -1361,9 +1556,7 @@ class Limit(Plan):
             if start == 0 and end == n:
                 out = batch
             else:
-                out = RowBatch(batch.values[start:end],
-                               batch.labels[start:end],
-                               batch.ilabels[start:end])
+                out = batch.select(range(start, end))
             produced += end - start
             yield out
             if limit is not None and produced >= limit:
@@ -1414,9 +1607,12 @@ class ViewPlan(Plan):
             yield from Plan.batches(self, ctx)
             return
         for batch in self.inner.batches(ctx):
-            out = [values + [label]
-                   for values, label in zip(batch.values, batch.labels)]
-            yield RowBatch(out, batch.labels, batch.ilabels)
+            # Columnar append: the label list *is* the _label column
+            # (no per-row copy; projected-away inner columns stay
+            # unmaterialized).
+            cols = batch.columns()
+            cols.append(batch.labels)
+            yield RowBatch.from_columns(cols, batch.labels, batch.ilabels)
 
 
 class PreparedSelect:
@@ -1452,6 +1648,10 @@ def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
     if plan.est_rows is not None:
         line += "  (cost=%.2f rows=%d)" % (plan.est_cost or 0.0,
                                            round(plan.est_rows))
+    # Projection pushed into a scan: the stored columns it materializes.
+    needed_names = getattr(plan, "needed_names", None)
+    if needed_names is not None:
+        line += "  cols=%s" % ",".join(needed_names)
     # Mark batch-native execution: the stamp is tree-wide, but only
     # operators with a batch implementation actually run vectorized
     # (the rest adapt through the chunking shim).

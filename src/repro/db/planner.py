@@ -241,7 +241,8 @@ class Planner:
             plan = IndexScan(entry.table, access.index, key_fns, predicate,
                              entry.declass, entry.view_grants,
                              predicate_on_values=self._on_values(
-                                 access.residual))
+                                 access.residual),
+                             needed=entry.needed)
             plan.explain = "IndexScan %s using %s (%s)%s" % (
                 self._relation(entry), access.index.name,
                 self._key_text(access.key_columns, access.key_exprs),
@@ -259,7 +260,8 @@ class Planner:
                                   access.include_high, predicate,
                                   entry.declass, entry.view_grants,
                                   predicate_on_values=self._on_values(
-                                      access.residual))
+                                      access.residual),
+                                  needed=entry.needed)
             plan.explain = "IndexRangeScan %s using %s (%s)%s" % (
                 self._relation(entry), access.index.name,
                 self._range_key_text(access),
@@ -269,7 +271,8 @@ class Planner:
             else list(entry.pushed)
         predicate = self._conjunction(conjuncts, local_compiler)
         plan = Scan(entry.table, predicate, entry.declass, entry.view_grants,
-                    predicate_on_values=self._on_values(conjuncts))
+                    predicate_on_values=self._on_values(conjuncts),
+                    needed=entry.needed)
         plan.explain = "Scan %s%s" % (self._relation(entry),
                                       self._filter_text(conjuncts))
         return self._annotate(plan, entry.est_rows, entry.est_cost)
@@ -360,6 +363,9 @@ class Planner:
         if has_aggregates:
             plan, post_compiler, rewrite_map = self._plan_aggregation(
                 select, plan, compiler, items)
+            # Post-aggregation row width: group keys then aggregates
+            # (used below to recognize identity projections).
+            identity_width = len(plan.group_fns) + len(plan.specs)
             out_exprs = [ex.rewrite(expr, rewrite_map) for expr, _ in items]
             out_fns = [post_compiler.compile(expr) for expr in out_exprs]
             out_compiler = post_compiler
@@ -376,6 +382,10 @@ class Planner:
                 raise DatabaseError("HAVING requires GROUP BY or aggregates")
             order_compiler = compiler
             order_rewrite = {}
+            # A non-aggregated input row always ends in _label slots the
+            # select list cannot cover, so it never matches an identity
+            # projection.
+            identity_width = None
 
         # ORDER BY before projection (so it can reference input columns),
         # with support for output aliases and 1-based positions.
@@ -397,12 +407,21 @@ class Planner:
             self._passthrough(sort, plan)
             plan = sort
 
-        batch_fns = [ex.compile_batch(out_compiler, expr)
-                     for expr in out_exprs] if self.batch_size else None
-        project = Project(plan, out_fns, batch_fns=batch_fns)
-        project.explain = "Project [%s]" % ", ".join(names)
-        self._passthrough(project, plan)
-        plan = project
+        # A projection whose every output expression is SlotRef(i), in
+        # order, covering the whole post-aggregation row is the
+        # identity (e.g. ``SELECT grp, COUNT(*) … GROUP BY grp``) —
+        # elide the no-op node; output names live in PreparedSelect.
+        identity = (identity_width is not None
+                    and len(out_exprs) == identity_width
+                    and all(isinstance(e, ex.SlotRef) and e.slot == i
+                            for i, e in enumerate(out_exprs)))
+        if not identity:
+            batch_fns = [ex.compile_batch(out_compiler, expr)
+                         for expr in out_exprs] if self.batch_size else None
+            project = Project(plan, out_fns, batch_fns=batch_fns)
+            project.explain = "Project [%s]" % ", ".join(names)
+            self._passthrough(project, plan)
+            plan = project
         if select.distinct:
             distinct = Distinct(plan)
             self._passthrough(distinct, plan)

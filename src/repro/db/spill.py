@@ -109,6 +109,26 @@ def decode_labeled_row(record: tuple):
     return values, Label(label_tags), Label(ilabel_tags)
 
 
+def estimate_value_bytes(value) -> int:
+    """Approximate in-memory footprint of one column value — the
+    per-value half of :func:`estimate_row_bytes`.  ANALYZE uses the
+    same accounting to measure average column widths
+    (:attr:`~repro.db.stats.ColumnStats.avg_width`), so the optimizer's
+    planning-time byte estimates and the executor's runtime budget
+    checks agree on what a row weighs.  Note a projected-away column
+    rides along as ``None`` at 8 bytes, which is why a narrow build
+    side earns a real memory credit."""
+    if value is None:
+        return 8
+    if isinstance(value, (int, float)):
+        return 28
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, Label):
+        return 64 + 4 * len(value)
+    return 64
+
+
 def estimate_row_bytes(values, label: Optional[Label] = None) -> int:
     """Approximate in-memory footprint of one execution row.
 
@@ -120,16 +140,7 @@ def estimate_row_bytes(values, label: Optional[Label] = None) -> int:
     """
     total = 64                               # the list + its pointer slots
     for value in values:
-        if value is None:
-            total += 8
-        elif isinstance(value, (int, float)):
-            total += 28
-        elif isinstance(value, str):
-            total += 49 + len(value)
-        elif isinstance(value, Label):
-            total += 64 + 4 * len(value)
-        else:
-            total += 64
+        total += estimate_value_bytes(value)
     if label is not None:
         total += 16 + 4 * len(label)
     return total

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .spill import estimate_value_bytes
+
 # ---------------------------------------------------------------------------
 # default selectivities (used when stats are absent or bounds are
 # parameters whose values are unknown at plan time)
@@ -150,15 +152,22 @@ class Histogram:
 class ColumnStats:
     """Statistics for one column of an analyzed table."""
 
-    __slots__ = ("ndv", "null_frac", "min_value", "max_value", "histogram")
+    __slots__ = ("ndv", "null_frac", "min_value", "max_value", "histogram",
+                 "avg_width")
 
     def __init__(self, ndv: int, null_frac: float, min_value, max_value,
-                 histogram: Optional[Histogram]):
+                 histogram: Optional[Histogram],
+                 avg_width: Optional[float] = None):
         self.ndv = ndv
         self.null_frac = null_frac
         self.min_value = min_value
         self.max_value = max_value
         self.histogram = histogram
+        #: Average in-memory bytes of one value, measured over the
+        #: ANALYZE sample with the spill estimator's accounting
+        #: (:func:`~repro.db.spill.estimate_value_bytes`); ``None``
+        #: when the table was empty at collection time.
+        self.avg_width = avg_width
 
     def eq_selectivity(self) -> float:
         """``col = constant``: assume the distinct values are uniform."""
@@ -215,6 +224,28 @@ class TableStats:
         self.mods_at_collect = mods_at_collect
         self.source = source
 
+    def avg_row_bytes(self, columns=None) -> Optional[float]:
+        """Measured average bytes of one execution row built from the
+        given columns (every analyzed column when ``None``).
+
+        Sums the per-column :attr:`~ColumnStats.avg_width` values over
+        a 64-byte row container — the same shape
+        :func:`~repro.db.spill.estimate_row_bytes` charges at run time
+        — so the optimizer's spill costing can budget what ANALYZE
+        actually saw instead of guessing from the column count.
+        Returns ``None`` when any requested column lacks a measured
+        width (empty table at collection, unknown name); callers fall
+        back to :func:`~repro.db.spill.estimated_tuple_bytes`.
+        """
+        names = self.columns if columns is None else columns
+        total = 64.0                     # the row list + pointer slots
+        for name in names:
+            cs = self.columns.get(name)
+            if cs is None or cs.avg_width is None:
+                return None
+            total += cs.avg_width
+        return total
+
     def __repr__(self):
         return ("TableStats(%s, rows=%d, epoch=%r)"
                 % (self.table_name, self.row_count, self.epoch))
@@ -262,18 +293,21 @@ def collect_table_stats(table, txn_manager, epoch: Tuple[int, int],
         non_null = [v for v in values if v is not None]
         null_frac = (1.0 - len(non_null) / sampled) if sampled else 0.0
         ndv = len(set(non_null))
+        avg_width = (sum(estimate_value_bytes(v) for v in values) / sampled
+                     if sampled else None)
         try:
             ordered = sorted(non_null)
         except TypeError:
-            # Mixed incomparable types: keep NDV/null info, skip the
-            # order-dependent pieces.
-            columns[name] = ColumnStats(ndv, null_frac, None, None, None)
+            # Mixed incomparable types: keep NDV/null/width info, skip
+            # the order-dependent pieces.
+            columns[name] = ColumnStats(ndv, null_frac, None, None, None,
+                                        avg_width)
             continue
         min_value = ordered[0] if ordered else None
         max_value = ordered[-1] if ordered else None
         histogram = Histogram.build(ordered, buckets)
         columns[name] = ColumnStats(ndv, null_frac, min_value, max_value,
-                                    histogram)
+                                    histogram, avg_width)
     return TableStats(table.name, row_count, columns, epoch,
                       table.modifications, source=table)
 

@@ -151,6 +151,18 @@ class Table:
             if chunk:
                 yield chunk
 
+    def materialize_columns(self, versions: List[TupleVersion],
+                            positions) -> List[list]:
+        """Copy out one value list per requested column position.
+
+        The storage half of projection pushdown: a batched scan hands
+        in its surviving versions and gets back only the columns the
+        plan actually reads — stored tuples are never widened into
+        full execution rows for columns nobody references.
+        """
+        return [[version.values[p] for version in versions]
+                for p in positions]
+
     def versions_for_tids(self, tids) -> Iterator[TupleVersion]:
         versions = self._versions
         for tid in tids:

@@ -25,6 +25,7 @@ from repro.core import rules
 from repro.db import Database
 from repro.db import expressions as ex
 from repro.db import indexes
+from repro.db import physical
 from repro.db.pages import BufferCache
 
 
@@ -288,7 +289,9 @@ def test_compile_batch_and_preserves_short_circuit():
         ex.Compare(">", ex.BinOp("/", ex.Literal(100), x), ex.Literal(2)),
     ])
     batch_fn = ex.compile_batch(compiler, node)
-    flags = batch_fn([[5, None], [0, None], [2, None], [None, None]], None)
+    rows = [[5, None], [0, None], [2, None], [None, None]]
+    batch = physical.RowBatch(rows, [None] * 4, [None] * 4)
+    flags = batch_fn(batch, None)
     assert flags == [True, False, True, None]
     # And the scan-level on-values path accepts this predicate shape.
     assert ex.reads_columns_only(node)
@@ -357,6 +360,117 @@ def test_index_loop_join_small_outer_stays_on_row_path():
     rows = secret.execute(sql).rows
     assert indexes.COUNTERS.lookups - before == 8
     assert len(rows) == 8 * 10
+
+
+def test_projection_pushdown_materializes_only_needed_columns():
+    """m has 3 stored columns; projecting 2 must copy exactly 2 cells
+    per visible row out of the heap — the counter proof that pushdown
+    reached the storage layer, at any batch size."""
+    for batch_size in (5, 1024):
+        _db, _public, secret, _ = _stack(batch_size)
+        lines = [r[0] for r in secret.execute("EXPLAIN SELECT id, v FROM m")]
+        assert any("cols=id,v" in line for line in lines), lines
+        physical.EXEC_COUNTERS.reset()
+        assert len(secret.execute("SELECT id, v FROM m").rows) == 40
+        snap = physical.EXEC_COUNTERS.snapshot()
+        assert snap["columns_materialized"] == 2 * 40, (batch_size, snap)
+
+
+def test_projection_pushdown_select_star_full_width():
+    """``*`` reads everything: no cols= annotation, all cells copied."""
+    _db, _public, secret, _ = _stack(1024)
+    lines = [r[0] for r in secret.execute("EXPLAIN SELECT * FROM m")]
+    assert not any("cols=" in line for line in lines), lines
+    physical.EXEC_COUNTERS.reset()
+    assert len(secret.execute("SELECT * FROM m").rows) == 40
+    assert physical.EXEC_COUNTERS.columns_materialized == 3 * 40
+
+
+def test_projection_pushdown_subquery_disables_pushdown():
+    """A correlated subquery may read arbitrary outer columns through
+    the outer-row stack, so its presence pins every scan to full
+    width (the conservative bail-out)."""
+    _db, _public, secret, _ = _stack(1024)
+    sql = ("SELECT id FROM m WHERE EXISTS (SELECT 1 FROM m b "
+           "WHERE b.grp = m.grp AND b.v > m.v)")
+    lines = [r[0] for r in secret.execute("EXPLAIN " + sql)]
+    assert not any("cols=" in line for line in lines), lines
+
+
+def test_projection_pushdown_under_declassifying_view():
+    """Pushdown must reach the scan *below* a declassifying view
+    without disturbing label stripping: values, stripped labels, and
+    the cell counter all agree with the full-width row executor."""
+    results = {}
+    for mode, batch_size in (("batched", 8), ("row", 0)):
+        authority = AuthorityState(idgen=SeededIdGenerator(55))
+        db = Database(authority, seed=55, batch_size=batch_size)
+        clinic = authority.create_principal("clinic")
+        compound = authority.create_compound_tag("all_t", owner=clinic.id)
+        tag = authority.create_tag("t0", owner=clinic.id,
+                                   compounds=(compound.id,))
+        admin = db.connect(IFCProcess(authority, clinic.id))
+        admin.execute("CREATE TABLE p (id INT PRIMARY KEY, a INT, b INT,"
+                      " c TEXT)")
+        for i in range(30):
+            proc = IFCProcess(authority, clinic.id)
+            proc.add_secrecy(tag.id)
+            db.connect(proc).execute(
+                "INSERT INTO p VALUES (?, ?, ?, ?)",
+                (i, i % 5, i % 7, "pad-%d" % i))
+        admin.execute("CREATE VIEW pv AS SELECT id, a FROM p "
+                      "WITH DECLASSIFYING (all_t)")
+        session = db.connect(IFCProcess(authority, clinic.id))
+        physical.EXEC_COUNTERS.reset()
+        results[mode] = _normalized(session, "SELECT a FROM pv")
+        if mode == "batched":
+            # The view body reads id and a: 2 of 4 stored columns.
+            assert physical.EXEC_COUNTERS.columns_materialized == 2 * 30
+        assert all(label == () for _row, label in results[mode])
+        assert len(results[mode]) == 30
+    assert results["batched"] == results["row"]
+
+
+def test_dml_plans_never_project():
+    """UPDATE/DELETE rewrite whole tuple versions (xmax stamping plus
+    the unchanged columns of the new version), so DML access paths
+    always run at full width — no cols= on any EXPLAIN line, and a
+    single-column UPDATE must leave its neighbors intact."""
+    _db, public, secret, _ = _stack(1024)
+    lines = [r[0] for r in secret.execute(
+        "EXPLAIN UPDATE m SET v = 0 WHERE grp = 1")]
+    assert not any("cols=" in line for line in lines), lines
+    before = {r[0]: (r[1], r[2])
+              for r in secret.execute("SELECT id, grp, v FROM m")}
+    # id=5 is a public row; the public session may rewrite it.
+    assert public.execute("UPDATE m SET v = 0 WHERE id = 5").rowcount == 1
+    after = {r[0]: (r[1], r[2])
+             for r in secret.execute("SELECT id, grp, v FROM m")}
+    assert after[5] == (before[5][0], 0)
+    assert all(after[i] == before[i] for i in before if i != 5)
+
+
+def test_aggregation_over_join_matches_row_mode_with_projection():
+    """Aggregation above a join above two projected scans: the
+    column-at-a-time path must agree with row-at-a-time on groups,
+    aggregates, and labels."""
+    sql = ("SELECT a.grp, COUNT(*), SUM(b.v) FROM m a "
+           "JOIN m b ON b.grp = a.grp GROUP BY a.grp")
+    _db_row, _p1, secret_row, _ = _stack(0)
+    _db_bat, _p2, secret_bat, _ = _stack(16)
+    assert _normalized(secret_bat, sql) == _normalized(secret_row, sql)
+
+
+def test_batches_widen_rows_exactly_once():
+    """The no-double-copy pin: a batched pipeline (projected scan →
+    projection) only rebuilds row-major lists at the cursor drain, so
+    ``rows_widened`` equals the statement's output row count."""
+    _db, _public, secret, _ = _stack(1024)
+    physical.EXEC_COUNTERS.reset()
+    rows = secret.execute("SELECT id, v FROM m WHERE v < 12").rows
+    assert len(rows) > 0
+    assert physical.EXEC_COUNTERS.rows_widened == len(rows)
+    assert physical.EXEC_COUNTERS.columns_materialized == 2 * len(rows)
 
 
 def test_predicate_free_scan_skips_row_copy_for_dml_targets():

@@ -237,6 +237,15 @@ class StatementGenerator:
         ("SELECT r2.kind, COUNT(*), MAX(r2.value) FROM readings r "
          "JOIN readings r2 ON r2.ts = r.ts WHERE {w} "
          "GROUP BY r2.kind"),
+        # Narrow projection over a join: pushdown strips every column
+        # the plan does not read from both scans — the one-column
+        # output (and its joined labels) must not notice.
+        ("SELECT d.zone FROM readings r "
+         "JOIN devices d ON d.device = r.device WHERE {w}"),
+        # Aggregation over the duplicate-heavy self-join with nothing
+        # projected but the join key: both scans run at minimum width.
+        ("SELECT COUNT(*) FROM readings r "
+         "JOIN readings r2 ON r2.device = r.device WHERE {w}"),
     )
 
     def select_join(self) -> dict:

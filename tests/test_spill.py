@@ -275,6 +275,42 @@ def test_session_level_spilled_join_parity_and_explain():
     assert "spill_partitions=" not in free_line
 
 
+def test_measured_row_widths_drive_spill_estimates():
+    """ANALYZE measures per-column byte widths (sampled with the spill
+    estimator's own accounting), so the optimizer budgets the build
+    side from what rows actually weigh: wide padding columns the
+    synthetic column-count guess undercounts push the plan into a
+    predicted spill — and a projection that never reads them earns the
+    memory credit back."""
+    authority = AuthorityState(idgen=SeededIdGenerator(77))
+    db = Database(authority, seed=77, work_mem=60_000)
+    session = db.connect(IFCProcess(authority,
+                                    authority.create_principal("q").id))
+    session.execute("CREATE TABLE wide (k INT PRIMARY KEY, g INT,"
+                    " pad TEXT)")
+    session.execute("CREATE TABLE slim (id INT PRIMARY KEY, g INT)")
+    for i in range(300):
+        session.execute("INSERT INTO wide VALUES (?, ?, ?)",
+                        (i, i % 50, "x" * 300))
+    for i in range(40):
+        session.execute("INSERT INTO slim VALUES (?, ?)", (i, i % 50))
+
+    def join_line(sql):
+        return next(r[0] for r in session.execute("EXPLAIN " + sql)
+                    if "HashJoin" in r[0])
+
+    wide_sql = "SELECT s.id, w.pad FROM slim s JOIN wide w ON w.g = s.g"
+    narrow_sql = "SELECT s.id FROM slim s JOIN wide w ON w.g = s.g"
+    # Un-analyzed: the synthetic per-column guess (~40KB build) fits.
+    assert "spill_partitions=" not in join_line(wide_sql)
+    session.execute("ANALYZE")
+    # Measured: ~450B × 300 rows blows the 60KB budget.
+    assert "spill_partitions=" in join_line(wide_sql)
+    # Projection pushdown drops pad from the build; measured narrow
+    # rows (~110B incl. the None placeholders) fit again.
+    assert "spill_partitions=" not in join_line(narrow_sql)
+
+
 def test_spilled_hash_join_sees_statement_snapshot():
     """Regression for the committed_horizon()/spill interaction: a
     writer that was in flight when the statement's snapshot was taken

@@ -82,6 +82,24 @@ class TestAnalyze:
         assert ts.min_value == 0.0
         assert ts.max_value == 199.0
 
+    def test_measured_column_widths(self, store):
+        """ANALYZE samples per-column byte widths with the spill
+        estimator's accounting, and avg_row_bytes() sums them over the
+        row container — restricted to a projected column subset when
+        asked."""
+        db, session = store
+        session.execute("ANALYZE events")
+        stats = db.stats_manager.peek("events")
+        assert stats.columns["id"].avg_width == 28          # all ints
+        note = stats.columns["note"].avg_width
+        # 90% "n%d" strings (49+len), 10% NULLs at 8 bytes.
+        assert 40 < note < 60
+        assert stats.avg_row_bytes(["id"]) == 64 + 28
+        total = stats.avg_row_bytes()
+        assert total == 64 + sum(stats.columns[c].avg_width
+                                 for c in stats.columns)
+        assert stats.avg_row_bytes(["id", "nope"]) is None
+
 
 class TestHistogram:
     def test_equi_depth_on_skewed_data(self):
