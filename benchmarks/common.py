@@ -23,10 +23,13 @@ import sys
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 #: Machine-readable benchmark outputs land at the repo root
 #: (``BENCH_<figure>.json``) so the perf trajectory is diffable across
-#: PRs and CI can upload them as artifacts.  Unlike ``results.txt``,
-#: these are written in smoke mode too (flagged, so nobody mistakes
-#: smoke numbers for measurements): CI needs the label-check counters
-#: even when the timings are meaningless.
+#: PRs and CI can upload them as artifacts.  Smoke runs also write
+#: JSON (CI needs the label-check counters even when the timings are
+#: meaningless) but to a separate ``BENCH_<figure>.smoke.json`` file —
+#: never the measured one — so a local smoke run can never clobber the
+#: committed cross-PR perf trail with meaningless numbers.  The
+#: ``.smoke.json`` files are gitignored; CI's artifact glob picks up
+#: both.
 BENCH_JSON_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: True when running in smoke mode (tiny parameters, no results file).
@@ -50,8 +53,14 @@ def report(table) -> None:
 
 
 def write_bench_json(figure: str, payload: dict) -> str:
-    """Write ``BENCH_<figure>.json`` at the repo root; returns the path."""
-    path = os.path.join(BENCH_JSON_ROOT, "BENCH_%s.json" % figure)
+    """Write ``BENCH_<figure>.json`` at the repo root; returns the path.
+
+    Smoke runs write ``BENCH_<figure>.smoke.json`` instead: smoke
+    timings are meaningless, so they must never overwrite a measured
+    (``smoke: false``) result.
+    """
+    suffix = ".smoke.json" if SMOKE else ".json"
+    path = os.path.join(BENCH_JSON_ROOT, "BENCH_%s%s" % (figure, suffix))
     document = dict(payload)
     document["figure"] = figure
     document["smoke"] = SMOKE

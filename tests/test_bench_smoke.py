@@ -9,6 +9,8 @@ current engine.
 """
 
 import glob
+import importlib.util
+import json
 import os
 import subprocess
 import sys
@@ -41,3 +43,39 @@ def test_bench_smoke(script):
     assert proc.returncode == 0, \
         "%s failed in smoke mode:\n%s\n%s" % (script, proc.stdout,
                                               proc.stderr)
+
+
+def _load_bench_common():
+    """Import ``benchmarks/common.py`` standalone (no package context)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_common_under_test",
+        os.path.join(BENCH_DIR, "common.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_json_never_clobbers_measured_results(tmp_path, monkeypatch):
+    """A smoke run must not overwrite a measured BENCH_<figure>.json.
+
+    Smoke timings are meaningless (see benchmarks/common.py), so
+    ``write_bench_json`` routes them to a separate, gitignored
+    ``BENCH_<figure>.smoke.json`` — the measured (``smoke: false``)
+    file committed to the repo stays byte-identical.
+    """
+    common = _load_bench_common()
+    monkeypatch.setattr(common, "BENCH_JSON_ROOT", str(tmp_path))
+
+    measured = tmp_path / "BENCH_fig0.json"
+    monkeypatch.setattr(common, "SMOKE", False)
+    assert common.write_bench_json("fig0", {"value": 1}) == str(measured)
+    before = measured.read_text()
+    assert json.loads(before)["smoke"] is False
+
+    monkeypatch.setattr(common, "SMOKE", True)
+    path = common.write_bench_json("fig0", {"value": 2})
+    assert path == str(tmp_path / "BENCH_fig0.smoke.json")
+    smoke_doc = json.loads((tmp_path / "BENCH_fig0.smoke.json").read_text())
+    assert smoke_doc["smoke"] is True and smoke_doc["value"] == 2
+    assert measured.read_text() == before, \
+        "smoke run overwrote a measured benchmark result"
