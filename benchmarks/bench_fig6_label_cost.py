@@ -19,7 +19,7 @@ import time
 import pytest
 
 from repro.core import rules
-from repro.db import Database
+from repro.db import Database, metrics
 from repro.db.physical import DEFAULT_BATCH_SIZE
 from repro.bench import ReportTable
 from repro.workloads import TPCCConfig, TPCCWorkload
@@ -150,14 +150,14 @@ def _measure_label_checks(*, batch_size, naive=False):
     session = workload.session       # carries every tpcc tag: sees all
     workload.run(smoke(50, 5))                    # warm plan caches
     transactions = smoke(200, 20)
-    before = rules.COUNTERS.snapshot()
+    before = _labels_snapshot()
     workload.run(transactions)
-    mid = rules.COUNTERS.snapshot()
+    mid = _labels_snapshot()
     scan_queries = smoke(10, 2)
     for _ in range(scan_queries):
         session.execute("SELECT COUNT(*), SUM(ol_amount) FROM OrderLine")
         session.execute("SELECT COUNT(*) FROM Stock WHERE s_quantity >= 0")
-    after = rules.COUNTERS.snapshot()
+    after = _labels_snapshot()
     return {
         "transactions": {
             "covers_calls": mid["covers_calls"] - before["covers_calls"],
@@ -168,6 +168,16 @@ def _measure_label_checks(*, batch_size, naive=False):
             "count": scan_queries * 2,
         },
     }
+
+
+def _labels_snapshot():
+    """Read the rules counters *through* the unified registry, checking
+    byte-for-byte agreement with the module singleton — the two views
+    must be aliases, never copies (db/metrics.py)."""
+    through_registry = metrics.REGISTRY.snapshot()["labels"]
+    direct = rules.COUNTERS.snapshot()
+    assert through_registry == direct, (through_registry, direct)
+    return through_registry
 
 
 @pytest.fixture(scope="module")
@@ -228,6 +238,13 @@ def test_fig6_label_check_amortization(label_checks, sweep):
         assert batched["scan"]["covers_calls"] \
             < row["scan"]["covers_calls"] * 0.1, \
             (batched["scan"], row["scan"])
+        # Gate 3: the seeded streams are deterministic, so the batched
+        # counts are exact pins (they match the committed
+        # BENCH_fig6.json) — any drift means the executor's label-check
+        # behaviour changed, registry refactors included.
+        assert batched["transactions"]["covers_calls"] == 8633, \
+            batched["transactions"]
+        assert batched["scan"]["covers_calls"] == 40, batched["scan"]
 
 
 def _fit_per_tag_cost(points) -> float:

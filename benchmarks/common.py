@@ -32,6 +32,13 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 #: both.
 BENCH_JSON_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: One accumulating metrics document (``METRICS.json``, repo root,
+#: gitignored): each ``write_bench_json`` call also files its counter
+#: snapshot here under the figure name, so a suite run — smoke included
+#: — leaves a single artifact CI can upload with every counter family's
+#: totals per figure.
+METRICS_PATH = os.path.join(BENCH_JSON_ROOT, "METRICS.json")
+
 #: True when running in smoke mode (tiny parameters, no results file).
 SMOKE = (os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
          or "--smoke" in sys.argv)
@@ -64,7 +71,32 @@ def write_bench_json(figure: str, payload: dict) -> str:
     document = dict(payload)
     document["figure"] = figure
     document["smoke"] = SMOKE
+    document["counters"] = _counters_snapshot()
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    _update_metrics_json(figure, document["counters"])
     return path
+
+
+def _counters_snapshot() -> dict:
+    """The unified registry's snapshot (db/metrics.py): cumulative
+    process-wide totals at write time, so each figure's JSON records
+    how much label/index/exec/spill work the whole run performed."""
+    from repro.db import metrics
+    return metrics.snapshot()
+
+
+def _update_metrics_json(figure: str, counters: dict) -> None:
+    """Read-modify-write ``METRICS.json``, keyed by figure."""
+    try:
+        with open(METRICS_PATH) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document[figure] = {"smoke": SMOKE, "counters": counters}
+    with open(METRICS_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

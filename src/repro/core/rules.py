@@ -46,11 +46,19 @@ class RuleCounters:
     the per-tuple call itself (section 7.1).  The batched executor's
     label-run amortization collapses one call per tuple into one call
     per distinct label per batch, and the fig6 benchmark reads these
-    counters to prove it.  Counters are global (labels and registries
-    are process-wide too); measurements should diff before/after.
+    counters to prove it.  ``rows_suppressed`` counts tuples the scans
+    rejected under the Label Confinement Rule — the quantity the IFC
+    audit trail (:mod:`repro.db.metrics`) attributes per statement;
+    it is incremented at the rejection sites in
+    :mod:`repro.db.physical`, not here, because under the batched
+    label-run memo a suppression does not always correspond to a
+    ``covers`` call.  Counters are global (labels and registries are
+    process-wide too); measurements should diff before/after — the
+    metrics registry registers this instance as its ``labels`` group
+    and does exactly that around every statement.
     """
 
-    __slots__ = ("covers_calls", "strip_calls")
+    __slots__ = ("covers_calls", "strip_calls", "rows_suppressed")
 
     def __init__(self):
         self.reset()
@@ -58,10 +66,12 @@ class RuleCounters:
     def reset(self) -> None:
         self.covers_calls = 0
         self.strip_calls = 0
+        self.rows_suppressed = 0
 
     def snapshot(self) -> dict:
         return {"covers_calls": self.covers_calls,
-                "strip_calls": self.strip_calls}
+                "strip_calls": self.strip_calls,
+                "rows_suppressed": self.rows_suppressed}
 
 
 #: The module-wide counter instance (see :class:`RuleCounters`).

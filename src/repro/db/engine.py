@@ -35,6 +35,8 @@ from .catalog import (
     ViewDef,
 )
 from .expressions import Scope
+from .metrics import REGISTRY, AuditLog, SlowQueryLog, StatementStats, \
+    compile_reader, normalize_sql
 from .pages import BufferCache
 from .physical import (
     DEFAULT_BATCH_SIZE,
@@ -94,7 +96,9 @@ class Database:
                  clock: Optional[Callable[[], float]] = None,
                  naive_plans: bool = False,
                  batch_size: Optional[int] = None,
-                 work_mem: Optional[int] = None):
+                 work_mem: Optional[int] = None,
+                 slow_query_ms: Optional[float] = None,
+                 audit_log: Optional[int] = None):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -156,6 +160,35 @@ class Database:
         self.rows_updated = 0
         self.rows_deleted = 0
         self._sequences: Dict[str, int] = {}
+        # -- observability (db/metrics.py) ------------------------------
+        # The process-wide registry plus this database's buffer-cache
+        # stats form the per-statement counter space: sessions bracket
+        # every tracked statement with two compiled flat-tuple reads
+        # (``_begin_statement``/``_finish_statement``) and the deltas
+        # feed the statement aggregate, the slow-query log, and the
+        # audit trail.
+        self.metrics = REGISTRY
+        self.statement_stats = StatementStats()
+        # Slow-query threshold in milliseconds; 0 disables the log.
+        if slow_query_ms is None:
+            slow_query_ms = float(os.environ.get("REPRO_SLOW_QUERY_MS",
+                                                 "0"))
+        self.slow_query_ms = max(0.0, float(slow_query_ms))
+        self.slow_queries = SlowQueryLog()
+        # IFC audit trail: opt-in ring buffer (capacity in events;
+        # 0/None disables).  Off by default — it records facts (e.g.
+        # suppressed-row counts) that must not flow back to confined
+        # processes.
+        if audit_log is None:
+            audit_log = int(os.environ.get("REPRO_AUDIT_LOG", "0"))
+        self.audit = AuditLog(audit_log) if audit_log else None
+        self._reader = None
+        self._reader_version = -1
+        self._metrics_cells: List[Tuple[str, str]] = []
+        self._spill_bytes_cell = -1
+        self._suppressed_cell = -1
+        self._norm_keys: Dict[str, str] = {}
+        self._last_statement = None
 
     # ------------------------------------------------------------------
     # connections
@@ -541,20 +574,128 @@ class Database:
         return removed
 
     # ------------------------------------------------------------------
+    # metrics (db/metrics.py)
+    # ------------------------------------------------------------------
+    def _rebuild_reader(self) -> None:
+        """Compile the per-statement counter reader: every registry
+        cell plus this database's buffer-cache stats (per-``Database``
+        state, so it cannot live in the process-wide registry)."""
+        cells: List[Tuple[str, str]] = []
+        owners: List[Tuple[object, str]] = []
+        for group, field, owner in self.metrics.cells():
+            cells.append((group, field))
+            owners.append((owner, field))
+        buffer_stats = self.buffer_cache.stats
+        for field in ("hits", "misses", "evictions", "io_time"):
+            cells.append(("buffer", field))
+            owners.append((buffer_stats, field))
+        self._metrics_cells = cells
+        self._reader = compile_reader(owners)
+        self._reader_version = self.metrics.version
+        self._spill_bytes_cell = cells.index(("spill", "bytes_spilled"))
+        self._suppressed_cell = cells.index(("labels", "rows_suppressed"))
+
+    def metrics_cells(self) -> List[Tuple[str, str]]:
+        """``(group, field)`` names, one per :meth:`read_counters` slot."""
+        if self._reader_version != self.metrics.version:
+            self._rebuild_reader()
+        return list(self._metrics_cells)
+
+    def read_counters(self) -> tuple:
+        """All counters (registry + this database's buffer cache) as a
+        flat tuple — the reader EXPLAIN ANALYZE probes call per row."""
+        if self._reader_version != self.metrics.version:
+            self._rebuild_reader()
+        return self._reader()
+
+    def counter_delta(self, before: tuple,
+                      after: tuple) -> Dict[str, Dict[str, int]]:
+        """Named nested delta between two :meth:`read_counters` reads."""
+        out: Dict[str, Dict[str, int]] = {}
+        for i, (group, field) in enumerate(self._metrics_cells):
+            bucket = out.get(group)
+            if bucket is None:
+                bucket = out[group] = {}
+            bucket[field] = after[i] - before[i]
+        return out
+
+    def _begin_statement(self) -> Tuple[float, tuple]:
+        """Start of per-statement tracking: wall clock + counter read."""
+        if self._reader_version != self.metrics.version:
+            self._rebuild_reader()
+        return (time.perf_counter(), self._reader())
+
+    def _finish_statement(self, track: Tuple[float, tuple], statement,
+                          sql: Optional[str], rowcount: int) -> None:
+        """End of per-statement tracking: aggregate into the statement
+        stats, the slow-query log, and the audit trail.  Hot path — a
+        handful of microseconds per statement."""
+        after = self._reader()
+        started, before = track
+        elapsed = time.perf_counter() - started
+        self._last_statement = (before, after, elapsed, rowcount)
+        if sql is not None:
+            key = self._norm_keys.get(sql)
+            if key is None:
+                key = normalize_sql(sql)
+                if len(self._norm_keys) < 4096:
+                    self._norm_keys[sql] = key
+        else:
+            # Programmatic statements (no SQL text) aggregate by shape.
+            key = "<%s>" % type(statement).__name__
+        cell = self._spill_bytes_cell
+        self.statement_stats.record(key, elapsed, rowcount,
+                                    after[cell] - before[cell])
+        threshold = self.slow_query_ms
+        if threshold and elapsed * 1000.0 >= threshold:
+            self.slow_queries.record(key, elapsed * 1000.0, rowcount,
+                                     self.counter_delta(before, after))
+        audit = self.audit
+        if audit is not None:
+            cell = self._suppressed_cell
+            suppressed = after[cell] - before[cell]
+            if suppressed:
+                audit.record("rows_suppressed", statement=key,
+                             count=suppressed)
+
+    def _audit_denial(self, statement, sql: Optional[str], error) -> None:
+        """Audit hook for write-rule / commit-label denials."""
+        audit = self.audit
+        if audit is None:
+            return
+        key = normalize_sql(sql) if sql is not None \
+            else "<%s>" % type(statement).__name__
+        audit.record("write_denied", statement=key, error=str(error))
+
+    def last_statement_metrics(self) -> Optional[Dict[str, object]]:
+        """Named counter deltas (plus ``elapsed_ms``/``rows``) of the
+        most recently tracked statement — what tests pin instead of
+        hand-diffing module globals."""
+        if self._last_statement is None:
+            return None
+        before, after, elapsed, rowcount = self._last_statement
+        named: Dict[str, object] = self.counter_delta(before, after)
+        named["elapsed_ms"] = elapsed * 1000.0
+        named["rows"] = rowcount
+        return named
+
+    # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        from .physical import EXEC_COUNTERS
-        from .spill import SPILL_STATS
         cache = self.buffer_cache.stats
-        return {
-            # Process-wide, like rules.COUNTERS (labels and spill temp
-            # files are process resources): with several Database
-            # instances in one process this aggregates across them —
-            # diff before/after around the work of interest.
-            "spill": SPILL_STATS.snapshot(),
-            "exec": EXEC_COUNTERS.snapshot(),
-            "statements": self.statements_executed,
+        snapshot = self.metrics.snapshot()
+        # The registry groups (labels/index/exec/spill/stats) are
+        # process-wide: with several Database instances in one process
+        # they aggregate across them — diff before/after around the
+        # work of interest, or read last_statement_metrics() /
+        # statement_stats for attributed numbers.
+        report: Dict[str, object] = dict(snapshot)
+        report.update({
+            "statements": self.statement_stats.snapshot(),
+            "statements_executed": self.statements_executed,
+            "slow_queries": self.slow_queries.snapshot(),
+            "audit_events": self.audit.total if self.audit else 0,
             "rows_inserted": self.rows_inserted,
             "rows_updated": self.rows_updated,
             "rows_deleted": self.rows_deleted,
@@ -570,4 +711,5 @@ class Database:
                 for t in self.catalog.tables.values()
                 if t.polyinstantiation_count
             },
-        }
+        })
+        return report

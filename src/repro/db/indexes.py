@@ -25,7 +25,9 @@ class IndexCounters:
     ``range_scans`` ordered-range scans.  The batched
     ``IndexLoopJoin`` dedupes duplicate outer keys to one probe per
     distinct key per batch; the join microbenchmark diffs these
-    counters to prove it."""
+    counters to prove it.  Registered as the ``index`` group of the
+    unified :data:`repro.db.metrics.REGISTRY` — prefer registry
+    scopes / per-statement deltas over hand-diffing this object."""
 
     __slots__ = ("lookups", "range_scans")
 

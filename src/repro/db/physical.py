@@ -59,7 +59,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core.labels import EMPTY_LABEL, Label
-from ..core.rules import covers, strip
+from ..core.rules import COUNTERS as RULE_COUNTERS, covers, strip
 from ..errors import AuthorityError
 from .catalog import ViewDef
 from .spill import BUCKET_ENTRY_BYTES, SpilledHashBuild, estimate_row_bytes
@@ -435,6 +435,18 @@ def _visible_versions(chunk: list, txn, txn_manager) -> list:
     return [version for version in chunk if visible(version, txn)]
 
 
+def _audit_declassify(ctx: ExecContext, view_grants) -> None:
+    """IFC audit hook: one ``declassify_view`` event per declassifying
+    view per execution, recorded right after its authority
+    re-validated (see :class:`repro.db.metrics.AuditLog`)."""
+    audit = getattr(ctx.session.db, "audit", None)
+    if audit is None:
+        return
+    for view, tags in view_grants:
+        audit.record("declassify_view", view=view.name,
+                     tags=tuple(sorted(tags)))
+
+
 class Scan(Plan):
     """Label-filtered, MVCC-filtered scan of a base table.
 
@@ -487,6 +499,7 @@ class Scan(Plan):
                     raise AuthorityError(
                         "declassifying view %r lost authority for tag %d "
                         "(revoked?)" % (view.name, tag_id))
+        _audit_declassify(ctx, self.view_grants)
 
     def _candidates(self, ctx: ExecContext):
         return self.table.all_versions()
@@ -544,6 +557,7 @@ class Scan(Plan):
                             ok = covers(registry, label, read_label)
                             memo[label] = ok
                         if not ok:
+                            RULE_COUNTERS.rows_suppressed += 1
                             continue
                     if predicate is not None and not self._check_predicate(
                             predicate, version, version.label, ctx):
@@ -557,6 +571,7 @@ class Scan(Plan):
                 continue
             if check_labels and not covers(registry, version.label,
                                            read_label):
+                RULE_COUNTERS.rows_suppressed += 1
                 continue
             if predicate is not None:
                 if on_values:
@@ -594,6 +609,7 @@ class Scan(Plan):
                 if declass:
                     label = strip(registry, label, declass)
                 if not covers(registry, label, read_label):
+                    RULE_COUNTERS.rows_suppressed += 1
                     continue
             else:
                 label = version.label
@@ -668,11 +684,13 @@ class Scan(Plan):
                         ok = covers(registry, label, read_label)
                         memo[label] = ok
                     if not ok:
+                        RULE_COUNTERS.rows_suppressed += 1
                         continue
                 elif check_labels:
                     if declass:
                         label = strip(registry, label, declass)
                     if not covers(registry, label, read_label):
+                        RULE_COUNTERS.rows_suppressed += 1
                         continue
                 if predicate is not None and not self._check_predicate(
                         predicate, version, label, ctx):
@@ -960,11 +978,13 @@ class IndexLoopJoin(Plan):
                         ok = covers(registry, label, read_label)
                         label_memo[label] = ok
                     if not ok:
+                        RULE_COUNTERS.rows_suppressed += 1
                         continue
                 else:
                     if declass:
                         label = strip(registry, label, declass)
                     if not covers(registry, label, read_label):
+                        RULE_COUNTERS.rows_suppressed += 1
                         continue
             rvalues = list(version.values)
             rvalues.append(label)
@@ -1070,6 +1090,7 @@ class IndexLoopJoin(Plan):
                         if declass:
                             label = strip(registry, label, declass)
                         if not covers(registry, label, read_label):
+                            RULE_COUNTERS.rows_suppressed += 1
                             continue
                     rvalues = list(version.values)
                     rvalues.append(label)
@@ -1635,16 +1656,17 @@ class PreparedDML:
         self.assignments = assignments
 
 
-def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
-    """Render a physical plan tree as indented one-line operator summaries.
+def _explain_line(plan: Plan) -> str:
+    """One operator's EXPLAIN summary (no indent, no children).
 
-    The text of each line is the operator's ``explain`` annotation
-    (attached by the planner during lowering) or the bare class name,
-    followed by the optimizer's cost/row estimates when it attached
-    them, so the output always reflects the tree — and the costing —
-    that ``rows()`` would execute under.
+    The text is the operator's ``explain`` annotation (attached by the
+    planner during lowering) or the bare class name, followed by the
+    optimizer's cost/row estimates when it attached them.  Shared by
+    :func:`explain_plan` and EXPLAIN ANALYZE
+    (:class:`repro.db.metrics.PlanRecorder`), which appends the
+    measured actuals to the same line.
     """
-    line = "  " * indent + (plan.explain or type(plan).__name__)
+    line = plan.explain or type(plan).__name__
     if plan.est_rows is not None:
         line += "  (cost=%.2f rows=%d)" % (plan.est_cost or 0.0,
                                            round(plan.est_rows))
@@ -1664,7 +1686,14 @@ def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
         line += "  spill_partitions=%d" % plan.est_spill_partitions
     if plan.est_mem is not None:
         line += "  mem=%dB" % round(plan.est_mem)
-    lines = [line]
+    return line
+
+
+def explain_plan(plan: Plan, indent: int = 0) -> List[str]:
+    """Render a physical plan tree as indented one-line operator
+    summaries, so the output always reflects the tree — and the
+    costing — that ``rows()`` would execute under."""
+    lines = ["  " * indent + _explain_line(plan)]
     for child in _children(plan):
         lines.extend(explain_plan(child, indent + 1))
     return lines

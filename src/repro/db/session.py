@@ -237,18 +237,40 @@ class Session:
     def execute_statement(self, statement, params: Tuple,
                           sql: Optional[str] = None) -> Result:
         self.statements_executed += 1
-        self.db.statements_executed += 1
-        if isinstance(statement, ast.Select):
-            return self._execute_select(statement, params, sql)
-        if isinstance(statement, ast.Insert):
-            with self._autocommit():
-                return self._execute_insert(statement, params, sql)
-        if isinstance(statement, ast.Update):
-            with self._autocommit():
-                return self._execute_update(statement, params, sql)
-        if isinstance(statement, ast.Delete):
-            with self._autocommit():
-                return self._execute_delete(statement, params, sql)
+        db = self.db
+        db.statements_executed += 1
+        # SELECT/INSERT/UPDATE/DELETE are *tracked*: the engine diffs a
+        # counter read around each one (statement stats, slow-query
+        # log, per-statement audit attribution).  Everything else —
+        # transaction control, DDL, EXPLAIN — runs untracked.
+        try:
+            if isinstance(statement, ast.Select):
+                track = db._begin_statement()
+                result = self._execute_select(statement, params, sql)
+            elif isinstance(statement, ast.Insert):
+                track = db._begin_statement()
+                with self._autocommit():
+                    result = self._execute_insert(statement, params, sql)
+            elif isinstance(statement, ast.Update):
+                track = db._begin_statement()
+                with self._autocommit():
+                    result = self._execute_update(statement, params, sql)
+            elif isinstance(statement, ast.Delete):
+                track = db._begin_statement()
+                with self._autocommit():
+                    result = self._execute_delete(statement, params, sql)
+            else:
+                return self._execute_other(statement, params, sql)
+        except IFCViolation as error:
+            # Write-rule / commit-label denial: IFC audit trail.
+            db._audit_denial(statement, sql, error)
+            raise
+        db._finish_statement(track, statement, sql, result.rowcount)
+        return result
+
+    def _execute_other(self, statement, params: Tuple,
+                       sql: Optional[str]) -> Result:
+        """The untracked statement forms (see ``execute_statement``)."""
         if isinstance(statement, ast.Begin):
             self.begin(statement.isolation)
             return Result()
@@ -267,19 +289,80 @@ class Session:
             self.db.analyze(statement.table)
             return Result()
         if isinstance(statement, ast.Explain):
-            return self._execute_explain(statement)
+            return self._execute_explain(statement, params)
         # DDL is delegated to the engine.
         return self.db.execute_ddl(self, statement)
 
-    def _execute_explain(self, statement: ast.Explain) -> Result:
-        """EXPLAIN: render the plan the engine would execute, one
-        operator per row.  Nothing runs, so results carry empty labels;
-        the plan *shape* only reveals schema facts (indexes, views) the
-        catalog already exposes."""
-        lines = self.db.explain(statement.statement)
+    def _execute_explain(self, statement: ast.Explain,
+                         params: Tuple = ()) -> Result:
+        """EXPLAIN [ANALYZE]: render the plan the engine would execute,
+        one operator per row.
+
+        Plain EXPLAIN runs nothing, so results carry empty labels; the
+        plan *shape* only reveals schema facts (indexes, views) the
+        catalog already exposes.  EXPLAIN ANALYZE executes the
+        statement (discarding its rows; DML applies its writes exactly
+        once) and annotates each operator with measured actuals —
+        physical execution facts (timings, buffer touches) that, like
+        any timing channel (section 7.3), belong to trusted principals;
+        see the Observability notes in ARCHITECTURE.md."""
+        if statement.analyze:
+            lines = self._explain_analyze(statement.statement, params)
+        else:
+            lines = self.db.explain(statement.statement)
         columns = {"QUERY PLAN": 0}
         rows = [Row([line], columns, EMPTY_LABEL) for line in lines]
         return Result(["QUERY PLAN"], rows, len(rows))
+
+    def _explain_analyze(self, inner, params: Tuple) -> List[str]:
+        """Execute ``inner`` under per-operator instrumentation.
+
+        The recorder clones the cached plan tree and wraps each node in
+        a probe (the cached original is never mutated), executes the
+        statement through the probes — the *same* session code paths as
+        a plain execution, so DML side effects happen exactly once —
+        and renders the original tree annotated with actuals.
+        """
+        from .metrics import PlanRecorder
+        db = self.db
+        recorder = PlanRecorder(db)
+        if isinstance(inner, ast.Select):
+            prepared = db.prepare_select(inner, None)
+            plan = recorder.instrument(prepared.plan)
+            if db.deterministic_order:
+                plan = DeterministicOrder(plan)
+            with self._autocommit():
+                ctx = self._context(params)
+                recorder.start()
+                if plan.batch_size:
+                    for _batch in plan.batches(ctx):
+                        pass
+                else:
+                    for _row in plan.rows(ctx):
+                        pass
+                recorder.finish()
+            return recorder.render(prepared.plan)
+        if isinstance(inner, (ast.Update, ast.Delete)):
+            prepared = db.prepare_dml(inner, None)
+            probe = recorder.instrument(prepared.plan)
+            update = isinstance(inner, ast.Update)
+            with self._autocommit():
+                recorder.start()
+                if update:
+                    result = self._execute_update(inner, params, None,
+                                                  plan=probe)
+                else:
+                    result = self._execute_delete(inner, params, None,
+                                                  plan=probe)
+                recorder.finish()
+            head = "%s %s  (actual rows=%d)" % (
+                "Update" if update else "Delete", inner.table,
+                result.rowcount)
+            return ([head] + recorder.render_plan(prepared.plan, indent=1)
+                    + recorder.render_summary())
+        raise DatabaseError(
+            "EXPLAIN ANALYZE supports SELECT, UPDATE, and DELETE, not %s"
+            % type(inner).__name__)
 
     def _context(self, params: Tuple) -> ExecContext:
         return ExecContext(self, params, self.label, self.ilabel,
@@ -398,9 +481,15 @@ class Session:
 
     # -- UPDATE -----------------------------------------------------------
     def _execute_update(self, statement: ast.Update, params: Tuple,
-                        sql: Optional[str]) -> Result:
+                        sql: Optional[str], plan=None) -> Result:
+        # ``plan`` overrides the target enumeration (EXPLAIN ANALYZE
+        # passes the instrumented copy); everything else — write rule,
+        # constraints, triggers, version stamping — is identical, so
+        # an analyzed DML statement applies its writes exactly once.
         table = self.db.catalog.get_table(statement.table)
         prepared = self.db.prepare_dml(statement, sql)
+        if plan is None:
+            plan = prepared.plan
         ctx = self._context(params)
         txn = self.transaction
         registry = self.db.authority.tags
@@ -409,7 +498,7 @@ class Session:
         schema = table.schema
         ifc = self.db.ifc_enabled
 
-        targets = list(prepared.plan.versions(ctx))
+        targets = list(plan.versions(ctx))
         count = 0
         key_positions = self._referenced_key_positions(table)
         for version in targets:
@@ -477,9 +566,12 @@ class Session:
 
     # -- DELETE -----------------------------------------------------------
     def _execute_delete(self, statement: ast.Delete, params: Tuple,
-                        sql: Optional[str]) -> Result:
+                        sql: Optional[str], plan=None) -> Result:
+        # ``plan`` override: see ``_execute_update``.
         table = self.db.catalog.get_table(statement.table)
         prepared = self.db.prepare_dml(statement, sql)
+        if plan is None:
+            plan = prepared.plan
         ctx = self._context(params)
         txn = self.transaction
         registry = self.db.authority.tags
@@ -487,7 +579,7 @@ class Session:
         statement_label = acting_label
         ifc = self.db.ifc_enabled
 
-        targets = list(prepared.plan.versions(ctx))
+        targets = list(plan.versions(ctx))
         count = 0
         for version in targets:
             if ifc and not same_contamination(registry, version.label,

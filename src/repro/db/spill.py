@@ -60,7 +60,10 @@ class SpillStats:
     recursion), ``repartitions`` recursive splits,
     ``partitions_created`` build spools that actually received rows;
     bytes are accounted when a spool switches from writing to
-    reading."""
+    reading.  Registered as the ``spill`` group of the unified
+    :data:`repro.db.metrics.REGISTRY`; ``bytes_spilled`` also feeds
+    the per-statement stats (``Database.stats()["statements"]``) and
+    EXPLAIN ANALYZE's ``spill_*`` columns."""
 
     __slots__ = ("spills", "partitions_created", "repartitions",
                  "rows_spilled", "bytes_spilled")

@@ -39,6 +39,35 @@ from typing import Dict, List, Optional, Tuple
 
 from .spill import estimate_value_bytes
 
+
+class StatsCounters:
+    """Process-wide statistics-subsystem counters (registered as the
+    ``stats`` group of :data:`repro.db.metrics.REGISTRY`; diff
+    before/after like the other families).  ``tables_collected`` counts
+    per-table collections from any trigger (explicit ``ANALYZE``,
+    drift refresh, stale-source recollection); ``drift_refreshes``
+    counts only the automatic ones — the background planner work that
+    can surprise a latency measurement, which is why EXPLAIN ANALYZE
+    excludes this group from per-operator attribution (a sweep fires
+    during planning, outside any operator)."""
+
+    __slots__ = ("tables_collected", "drift_refreshes")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.tables_collected = 0
+        self.drift_refreshes = 0
+
+    def snapshot(self) -> dict:
+        return {"tables_collected": self.tables_collected,
+                "drift_refreshes": self.drift_refreshes}
+
+
+#: The module-wide counter instance (see :class:`StatsCounters`).
+COUNTERS = StatsCounters()
+
 # ---------------------------------------------------------------------------
 # default selectivities (used when stats are absent or bounds are
 # parameters whose values are unknown at plan time)
@@ -343,6 +372,7 @@ class StatsManager:
         for table in tables:
             self._stats[table.name] = collect_table_stats(
                 table, self._db.txn_manager, epoch)
+            COUNTERS.tables_collected += 1
             self._db.invalidate_plans_for(table.name)
         if tables:
             self.version += 1
@@ -393,6 +423,8 @@ class StatsManager:
     def _refresh(self, table) -> TableStats:
         stats = collect_table_stats(table, self._db.txn_manager,
                                     self._epoch())
+        COUNTERS.tables_collected += 1
+        COUNTERS.drift_refreshes += 1
         self._stats[table.name] = stats
         self.version += 1
         self._db.invalidate_plans_for(table.name)

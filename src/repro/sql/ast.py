@@ -218,9 +218,15 @@ class Analyze:
 
 @dataclass
 class Explain:
-    """EXPLAIN <statement> — render the plan instead of executing it."""
+    """EXPLAIN [ANALYZE] <statement>.
+
+    Plain EXPLAIN renders the plan instead of executing the statement;
+    EXPLAIN ANALYZE executes it (writes included — exactly once) and
+    annotates each operator with its measured actuals (rows, batches,
+    wall time, counter deltas)."""
 
     statement: "Statement"
+    analyze: bool = False
 
 
 Statement = Union[Select, Insert, Update, Delete, CreateTable, CreateView,

@@ -1,7 +1,8 @@
 """SQL lexer.
 
 Produces a flat token list for the recursive-descent parser.  Keywords
-— including statement heads like ``ANALYZE`` and ``EXPLAIN`` — are
+— including statement heads like ``ANALYZE`` and ``EXPLAIN`` (and the
+``EXPLAIN ANALYZE`` pair, disambiguated by parser lookahead) — are
 plain identifier tokens matched case-insensitively at parse time;
 identifier case is preserved (the applications in :mod:`repro.apps`
 use CamelCase table names like the paper's ``HIVPatients``).

@@ -13,6 +13,11 @@ applications and benchmarks exercise, plus IFDB's extensions:
 * the ``_label`` system column usable anywhere a column is;
 * ``EXPLAIN <statement>`` — returns the optimizer's plan (one operator
   per row, with estimated cost/rows) instead of executing the statement;
+* ``EXPLAIN ANALYZE <statement>`` — executes the statement and returns
+  the plan annotated with per-operator actuals (rows, batches, wall
+  time, counter deltas; see :mod:`repro.db.metrics`).  Disambiguated
+  from ``EXPLAIN ANALYZE`` *the statistics statement* by one token of
+  lookahead: ``ANALYZE`` followed by a statement head keyword;
 * ``ANALYZE [table]`` — collects the optimizer statistics
   (:mod:`repro.db.stats`) the cost model estimates cardinalities from.
 
@@ -109,7 +114,18 @@ class Parser:
 
     def _statement(self) -> ast.Statement:
         if self.accept_keyword("EXPLAIN"):
-            return ast.Explain(self._statement())
+            # ``EXPLAIN ANALYZE <stmt>`` vs ``EXPLAIN ANALYZE [table]``
+            # (the statistics statement): one token of lookahead —
+            # ANALYZE followed by a statement head is the analyzing
+            # EXPLAIN, anything else is EXPLAIN over ANALYZE.
+            analyze = False
+            if self.at_keyword("ANALYZE"):
+                following = self.peek(1)
+                if any(following.matches_keyword(word) for word in
+                       ("SELECT", "INSERT", "UPDATE", "DELETE")):
+                    self.advance()
+                    analyze = True
+            return ast.Explain(self._statement(), analyze=analyze)
         if self.at_keyword("SELECT"):
             return self._select()
         if self.at_keyword("INSERT"):

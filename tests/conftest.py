@@ -6,7 +6,28 @@ from __future__ import annotations
 import pytest
 
 from repro.core import AuthorityState, IFCProcess, Label, SeededIdGenerator
-from repro.db import Database
+from repro.db import Database, metrics
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    """Process-wide counters are shared by every Database in the process;
+    start each test from zero so exact-count pins cannot bleed across
+    tests (and leave a clean slate behind for the next one)."""
+    metrics.REGISTRY.reset()
+    yield
+    metrics.REGISTRY.reset()
+
+
+@pytest.fixture
+def metrics_scope():
+    """Factory for per-block counter deltas:
+
+        with metrics_scope() as scope:
+            session.execute(...)
+        assert scope["labels"]["covers_calls"] == 2
+    """
+    return metrics.REGISTRY.scope
 
 
 @pytest.fixture

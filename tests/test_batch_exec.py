@@ -7,7 +7,8 @@ shape and the per-tuple bookkeeping change.  These tests pin:
 * result parity between batched and row-at-a-time execution across the
   operator zoo, at batch sizes that force awkward boundaries;
 * the label-run amortization: one ``covers`` per distinct label per
-  batch (counted via the rules instrumentation), including the per-row
+  batch (counted via per-statement metrics deltas,
+  ``Database.last_statement_metrics``), including the per-row
   fallback under declassifying views;
 * the MVCC whole-batch fast path, and its mandatory fallback when a
   concurrent transaction is in flight or a version was deleted;
@@ -21,10 +22,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
-from repro.core import rules
 from repro.db import Database
 from repro.db import expressions as ex
-from repro.db import indexes
 from repro.db import physical
 from repro.db.pages import BufferCache
 
@@ -83,14 +82,12 @@ def test_label_run_batching_counts_one_covers_per_label_per_batch():
     # size 20 → 2 batches × ≤2 labels = ≤4 covers calls, against 40 in
     # row-at-a-time mode.
     _db, _public, secret, _tag = _stack(20)
-    before = rules.COUNTERS.covers_calls
     assert len(secret.execute("SELECT * FROM m").rows) == 40
-    batched_calls = rules.COUNTERS.covers_calls - before
+    batched_calls = _db.last_statement_metrics()["labels"]["covers_calls"]
 
     _db2, _public2, secret_row, _ = _stack(0)
-    before = rules.COUNTERS.covers_calls
     assert len(secret_row.execute("SELECT * FROM m").rows) == 40
-    row_calls = rules.COUNTERS.covers_calls - before
+    row_calls = _db2.last_statement_metrics()["labels"]["covers_calls"]
 
     assert row_calls == 40
     assert batched_calls <= 4
@@ -308,13 +305,12 @@ def _join_counters(batch_size):
     plan_lines = [r[0] for r in secret.execute("EXPLAIN " + SELF_JOIN)]
     assert any("IndexLoopJoin" in line for line in plan_lines), plan_lines
     db.buffer_cache.reset()
-    lookups_before = indexes.COUNTERS.lookups
-    covers_before = rules.COUNTERS.covers_calls
     rows = secret.execute(SELF_JOIN).rows
+    delta = db.last_statement_metrics()
     return (rows,
-            indexes.COUNTERS.lookups - lookups_before,
+            delta["index"]["lookups"],
             db.buffer_cache.stats.accesses,
-            rules.COUNTERS.covers_calls - covers_before)
+            delta["labels"]["covers_calls"])
 
 
 def test_index_loop_join_dedups_probes_per_batch():
@@ -356,9 +352,8 @@ def test_index_loop_join_small_outer_stays_on_row_path():
     assert "batch=512" in scan_line, scan_line
     # Counter pin: the row path probes once per outer row — duplicate
     # keys are *not* deduped below the floor.
-    before = indexes.COUNTERS.lookups
     rows = secret.execute(sql).rows
-    assert indexes.COUNTERS.lookups - before == 8
+    assert db.last_statement_metrics()["index"]["lookups"] == 8
     assert len(rows) == 8 * 10
 
 
@@ -370,10 +365,9 @@ def test_projection_pushdown_materializes_only_needed_columns():
         _db, _public, secret, _ = _stack(batch_size)
         lines = [r[0] for r in secret.execute("EXPLAIN SELECT id, v FROM m")]
         assert any("cols=id,v" in line for line in lines), lines
-        physical.EXEC_COUNTERS.reset()
         assert len(secret.execute("SELECT id, v FROM m").rows) == 40
-        snap = physical.EXEC_COUNTERS.snapshot()
-        assert snap["columns_materialized"] == 2 * 40, (batch_size, snap)
+        delta = _db.last_statement_metrics()["exec"]
+        assert delta["columns_materialized"] == 2 * 40, (batch_size, delta)
 
 
 def test_projection_pushdown_select_star_full_width():
@@ -381,9 +375,9 @@ def test_projection_pushdown_select_star_full_width():
     _db, _public, secret, _ = _stack(1024)
     lines = [r[0] for r in secret.execute("EXPLAIN SELECT * FROM m")]
     assert not any("cols=" in line for line in lines), lines
-    physical.EXEC_COUNTERS.reset()
     assert len(secret.execute("SELECT * FROM m").rows) == 40
-    assert physical.EXEC_COUNTERS.columns_materialized == 3 * 40
+    delta = _db.last_statement_metrics()["exec"]
+    assert delta["columns_materialized"] == 3 * 40
 
 
 def test_projection_pushdown_subquery_disables_pushdown():
@@ -421,11 +415,11 @@ def test_projection_pushdown_under_declassifying_view():
         admin.execute("CREATE VIEW pv AS SELECT id, a FROM p "
                       "WITH DECLASSIFYING (all_t)")
         session = db.connect(IFCProcess(authority, clinic.id))
-        physical.EXEC_COUNTERS.reset()
         results[mode] = _normalized(session, "SELECT a FROM pv")
         if mode == "batched":
             # The view body reads id and a: 2 of 4 stored columns.
-            assert physical.EXEC_COUNTERS.columns_materialized == 2 * 30
+            delta = db.last_statement_metrics()["exec"]
+            assert delta["columns_materialized"] == 2 * 30
         assert all(label == () for _row, label in results[mode])
         assert len(results[mode]) == 30
     assert results["batched"] == results["row"]
@@ -466,11 +460,11 @@ def test_batches_widen_rows_exactly_once():
     projection) only rebuilds row-major lists at the cursor drain, so
     ``rows_widened`` equals the statement's output row count."""
     _db, _public, secret, _ = _stack(1024)
-    physical.EXEC_COUNTERS.reset()
     rows = secret.execute("SELECT id, v FROM m WHERE v < 12").rows
     assert len(rows) > 0
-    assert physical.EXEC_COUNTERS.rows_widened == len(rows)
-    assert physical.EXEC_COUNTERS.columns_materialized == 2 * len(rows)
+    delta = _db.last_statement_metrics()["exec"]
+    assert delta["rows_widened"] == len(rows)
+    assert delta["columns_materialized"] == 2 * len(rows)
 
 
 def test_predicate_free_scan_skips_row_copy_for_dml_targets():
