@@ -140,6 +140,14 @@ class LogicalQuery:
     est_rows: Optional[float] = None             # estimated output rows
     est_cost: Optional[float] = None             # estimated total cost
 
+    @property
+    def width(self) -> int:
+        """Flat execution-row width the select list evaluates over:
+        the sum of entry widths (each contributes its columns plus the
+        ``_label`` pseudo-column).  The planner's sort/aggregate spill
+        estimates size pre-projection rows with it."""
+        return sum(entry.width for entry in self.entries)
+
 
 @dataclass
 class LogicalDML:

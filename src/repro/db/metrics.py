@@ -405,6 +405,10 @@ _ANALYZE_LABELS: Dict[Tuple[str, str], str] = {
     ("spill", "repartitions"): "repartitions",
     ("spill", "rows_spilled"): "spill_rows",
     ("spill", "bytes_spilled"): "spill_bytes",
+    ("spill", "sort_spills"): "sort_spills",
+    ("spill", "sort_runs"): "sort_runs",
+    ("spill", "agg_spills"): "agg_spills",
+    ("spill", "agg_partitions"): "agg_partitions",
 }
 
 #: Counters that never appear in per-operator EXPLAIN ANALYZE lines.

@@ -55,7 +55,8 @@ from ..errors import CatalogError, DatabaseError
 from . import expressions as ex
 from .logical import LogicalDML, LogicalQuery, SourceEntry, \
     collect_columns, collect_slots, relayout, split_conjuncts
-from .spill import estimate_spill_plan, estimated_tuple_bytes
+from .spill import (AGG_STATE_BYTES, BUCKET_ENTRY_BYTES,
+                    estimate_spill_plan, estimated_tuple_bytes)
 from .stats import (
     DEFAULT_DERIVED_ROWS,
     DEFAULT_EQ_SEL,
@@ -85,6 +86,51 @@ COST_SPILL_ROW = 0.4
 #: table is still empty must not lock in a full scan that a few inserts
 #: later would be wrong (inserts do not bump the plan-cache epoch).
 ROW_FLOOR = 10.0
+
+
+def estimate_sort_spill(input_rows: float, input_bytes: float,
+                        work_mem: int) -> Tuple[int, float, float]:
+    """External-merge-sort estimate: ``(runs, est_mem, extra_cost)``.
+
+    Zero runs means the sort is expected to fit ``work_mem`` and
+    ``est_mem`` is the full materialized input; otherwise the input
+    spools in budget-sized sorted runs (``ceil(bytes / work_mem)``),
+    the peak resident footprint is one chunk (the budget itself — the
+    k-way heap merge holds one row per run), and every row is charged
+    one :data:`COST_SPILL_ROW` write+read cycle: the merge fan-in is
+    unbounded, so a single merge pass always suffices.
+    """
+    partitions, _part_bytes, _levels = estimate_spill_plan(
+        input_bytes, work_mem)
+    if not partitions:
+        return 0, input_bytes, 0.0
+    runs = max(2, -int(-input_bytes // work_mem))
+    return runs, float(work_mem), COST_SPILL_ROW * input_rows
+
+
+def estimate_group_spill(input_rows: float, groups: float,
+                         group_width: int, n_states: int,
+                         work_mem: int) -> Tuple[int, float, float]:
+    """Grace-aggregation estimate: ``(partitions, est_mem,
+    extra_cost)`` for hash-aggregation (or DISTINCT, ``n_states=0``)
+    group state under ``work_mem``.
+
+    Group state is costed like the runtime charges it: key bytes
+    (:func:`estimated_tuple_bytes` over the grouping columns) plus one
+    :data:`AGG_STATE_BYTES` accumulator per aggregate spec plus
+    hash-entry overhead, times the expected group count.  Overflow
+    partitions the *state* via :func:`estimate_spill_plan`; each level
+    re-spools the input rows routed past the resident groups, so the
+    cost charge is per input row per level.
+    """
+    state_bytes = groups * (estimated_tuple_bytes(group_width)
+                            + AGG_STATE_BYTES * n_states
+                            + BUCKET_ENTRY_BYTES)
+    partitions, part_bytes, levels = estimate_spill_plan(
+        state_bytes, work_mem)
+    if not partitions:
+        return 0, state_bytes, 0.0
+    return partitions, part_bytes, COST_SPILL_ROW * levels * input_rows
 
 # ---------------------------------------------------------------------------
 # constant folding

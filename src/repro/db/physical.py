@@ -56,13 +56,17 @@ attached by the planner during lowering and rendered by ``EXPLAIN``.
 
 from __future__ import annotations
 
+import heapq
+from itertools import chain, islice
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core.labels import EMPTY_LABEL, Label
 from ..core.rules import COUNTERS as RULE_COUNTERS, covers, strip
 from ..errors import AuthorityError
 from .catalog import ViewDef
-from .spill import BUCKET_ENTRY_BYTES, SpilledHashBuild, estimate_row_bytes
+from .spill import (AGG_STATE_BYTES, BUCKET_ENTRY_BYTES, GroupSpill,
+                    MAX_RECURSION, SortRuns, SpilledHashBuild,
+                    estimate_row_bytes)
 from .storage import Table
 
 ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
@@ -270,6 +274,26 @@ class RowBatch:
         return zip(self.values, self.labels, self.ilabels)
 
 
+def _unspool_seq(partition):
+    """Undo :class:`Distinct`'s seq-in-values spool encoding: yields
+    ``(seq, key, row)`` from a GroupSpill partition whose rows were
+    spooled as ``[seq] + values``."""
+    for key, (values, label, ilabel) in partition:
+        yield values[0], key, (values[1:], label, ilabel)
+
+
+def _row_source(child, batch_size: int, ctx) -> Iterator[ExecRow]:
+    """Row view of a child for blocking operators (Sort, Aggregate,
+    Distinct): consume batches when the tree is batched — the whole
+    input is materialized into operator state anyway, so there is
+    nothing to gain from keeping it columnar — else plain rows."""
+    if batch_size:
+        for batch in child.batches(ctx):
+            yield from zip(batch.values, batch.labels, batch.ilabels)
+    else:
+        yield from child.rows(ctx)
+
+
 def _chunked(iterator, size: int):
     """Chunk an iterator into lists of up to ``size``."""
     chunk: list = []
@@ -340,6 +364,9 @@ class Plan:
     #: Optimizer-estimated grace-spill leaf partitions (0 = expected to
     #: fit in ``work_mem``); rendered by EXPLAIN.
     est_spill_partitions: int = 0
+    #: Optimizer-estimated external-sort runs (0 = the sort is expected
+    #: to run fully in memory); rendered by EXPLAIN as ``runs=N``.
+    est_runs: int = 0
 
     def rows(self, ctx: ExecContext) -> Iterator[ExecRow]:
         raise NotImplementedError
@@ -1347,6 +1374,21 @@ class AggregateNode(Plan):
 
     Output rows are ``group_key_values + aggregate_results``; downstream
     expressions were rewritten by the planner to slot references.
+
+    **Memory bound (grace hash aggregation).**  Group state is charged
+    against ``ctx.work_mem`` as groups are created (key bytes + one
+    :data:`AGG_STATE_BYTES` accumulator per spec + hash-entry
+    overhead).  When creating one more group would overflow, already-
+    resident groups keep accumulating in memory — they absorb their
+    remaining input rows at full speed — while rows for *new* keys
+    hash-partition to disk through :class:`GroupSpill`; each partition
+    is then re-aggregated recursively (fresh salt per level, same
+    fanout/termination scheme as the grace join).  A key is therefore
+    either entirely resident or entirely spooled, so no group is ever
+    counted twice.  Resident groups emit in first-seen order; spilled
+    partitions follow, so *output order changes when an aggregate
+    spills* — SQL makes no promise here, and ORDER BY sits above this
+    node.  Global aggregates never spill: their state is one row.
     """
 
     def __init__(self, child: Plan, group_fns: List[Callable],
@@ -1356,18 +1398,31 @@ class AggregateNode(Plan):
         self.specs = specs
         self.global_agg = global_agg
 
-    def _accumulate(self, ctx, source):
-        """Fold an iterable of ExecRows into per-group aggregate state."""
+    def _fold(self, ctx, source, depth: int):
+        """Fold ``(key, row)`` pairs into per-group state, grace-
+        spilling new groups past the budget; yields result rows."""
+        budget = 0 if self.global_agg else ctx.work_mem
         groups: Dict[tuple, list] = {}
         labels: Dict[tuple, Label] = {}
         ilabels: Dict[tuple, Label] = {}
         order: List[tuple] = []
-        group_fns = self.group_fns
         specs = self.specs
-        for values, label, ilabel in source:
-            key = tuple(fn(values, ctx) for fn in group_fns)
+        entry_bytes = AGG_STATE_BYTES * len(specs) + BUCKET_ENTRY_BYTES
+        spill = None
+        mem = 0
+        for key, (values, label, ilabel) in source:
             states = groups.get(key)
             if states is None:
+                if spill is None and budget:
+                    cost = estimate_row_bytes(key) + entry_bytes
+                    if (mem + cost > budget and order
+                            and depth < MAX_RECURSION):
+                        spill = GroupSpill(salt=depth, depth=depth)
+                    else:
+                        mem += cost
+                if spill is not None:
+                    spill.add(key, (values, label, ilabel))
+                    continue
                 states = [_AggState(s.func, s.distinct) for s in specs]
                 groups[key] = states
                 labels[key] = label
@@ -1381,36 +1436,37 @@ class AggregateNode(Plan):
                     state.add(_STAR)
                 else:
                     state.add(spec.arg_fn(values, ctx))
-        return groups, labels, ilabels, order
-
-    def _emit(self, groups, labels, ilabels, order):
         if not groups and self.global_agg:
-            states = [_AggState(s.func, s.distinct) for s in self.specs]
+            states = [_AggState(s.func, s.distinct) for s in specs]
             yield ([] + [s.result() for s in states], EMPTY_LABEL,
                    EMPTY_LABEL)
             return
         for key in order:
-            states = groups[key]
-            yield (list(key) + [s.result() for s in states], labels[key],
-                   ilabels[key])
+            yield (list(key) + [s.result() for s in groups[key]],
+                   labels[key], ilabels[key])
+        if spill is not None:
+            for partition in spill.partitions():
+                yield from self._fold(ctx, partition, depth + 1)
+
+    def _grouped(self, ctx):
+        group_fns = self.group_fns
+
+        def keyed():
+            for row in _row_source(self.child, self.batch_size, ctx):
+                yield tuple(fn(row[0], ctx) for fn in group_fns), row
+        return self._fold(ctx, keyed(), 0)
 
     def rows(self, ctx):
         if self.batch_size:
             yield from self._drain(ctx)
             return
-        yield from self._emit(*self._accumulate(ctx, self.child.rows(ctx)))
+        yield from self._grouped(ctx)
 
     def batches(self, ctx):
         if not self.batch_size:
             yield from Plan.batches(self, ctx)
             return
-        # Consume the child batch-at-a-time; the accumulation itself is
-        # identical, only the input loop shape changes.
-        def source():
-            for batch in self.child.batches(ctx):
-                yield from zip(batch.values, batch.labels, batch.ilabels)
-        results = self._emit(*self._accumulate(ctx, source()))
-        for chunk in _chunked(results, self.batch_size):
+        for chunk in _chunked(self._grouped(ctx), self.batch_size):
             yield RowBatch([row[0] for row in chunk],
                            [row[1] for row in chunk],
                            [row[2] for row in chunk])
@@ -1453,8 +1509,81 @@ class Project(Plan):
             yield RowBatch(out, batch.labels, batch.ilabels)
 
 
+class _MixedKey:
+    """Total-order wrapper for values from a mixed-type column.
+
+    Comparison is natural when the values are mutually comparable and
+    falls back to ``(type name, str(value))`` tags across incomparable
+    types — the same family of order :class:`DeterministicOrder`
+    imposes.  In the SQL value domain (numbers, strings, ``None``
+    handled one level up) mutual comparability partitions the values
+    into classes whose type names agree on the cross-class direction
+    (every number sorts before every string), so this is a consistent
+    total order: within a class it *is* the natural order, which is
+    what makes runs sorted naturally safe to merge under mixed keys.
+    """
+
+    __slots__ = ("value",)
+    __hash__ = None
+
+    def __init__(self, value):
+        self.value = value
+
+    def _tag(self):
+        value = self.value
+        return (type(value).__name__, str(value))
+
+    def __lt__(self, other):
+        try:
+            return self.value < other.value
+        except TypeError:
+            return self._tag() < other._tag()
+
+    def __eq__(self, other):
+        # ``==`` never raises across types, so no fallback is needed —
+        # and incomparable values are never spuriously equal.
+        return self.value == other.value
+
+
+class _Desc:
+    """Inverts comparisons for one DESC component of a composite sort
+    key (tuple comparison probes ``==`` before ``<``, so both must
+    flip through to the wrapped key)."""
+
+    __slots__ = ("key",)
+    __hash__ = None
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
 class Sort(Plan):
-    """ORDER BY; NULLs sort last ascending, first descending."""
+    """ORDER BY; NULLs sort last ascending, first descending.
+
+    **Memory bound (external merge sort).**  Under ``ctx.work_mem``
+    the input is consumed in byte-estimated chunks: each full chunk is
+    sorted in memory and spooled as one run through the labeled-row
+    codec (labels re-intern on reload, so the covers/strip memos
+    survive), then all runs k-way merge through a heap in a single
+    pass — the merge holds one row per run, never the input.
+    Unbounded (``work_mem=0``, the naive/reference executor) sorts
+    fully in memory, as before.
+
+    **Mixed-type keys.**  Sorting tries the natural per-column key
+    ``(value is None, value)`` first; if the column mixes incomparable
+    types (legal in untyped storage — ``DeterministicOrder`` already
+    handles it) the chunk retries under :class:`_MixedKey`'s
+    type-tagged total order instead of raising.  Merges always use the
+    mixed-tolerant key: wherever values compare naturally the two
+    orders agree, so naturally-sorted runs are correctly ordered under
+    it even when *different* runs hold incomparable types.
+    """
 
     def __init__(self, child: Plan, key_fns: List[Callable],
                  descending: List[bool]):
@@ -1462,69 +1591,224 @@ class Sort(Plan):
         self.key_fns = key_fns
         self.descending = descending
 
-    def _sorted(self, ctx) -> list:
-        if self.batch_size:
-            rows = [row for batch in self.child.batches(ctx)
-                    for row in zip(batch.values, batch.labels,
-                                   batch.ilabels)]
-        else:
-            rows = list(self.child.rows(ctx))
-        # Stable multi-key sort: apply keys from last to first.
-        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
-            def sort_key(row, fn=fn):
-                value = fn(row[0], ctx)
-                return (value is None, value)
-            rows.sort(key=sort_key, reverse=desc)
-        return rows
+    def _key(self, ctx, mixed: bool) -> Callable:
+        """Composite key over row values: one ``(value is None, value)``
+        component per ORDER BY column — NULLs last ascending — wrapped
+        in :class:`_Desc` for DESC columns and (with ``mixed``) in
+        :class:`_MixedKey` for type-tolerant comparison."""
+        pairs = list(zip(self.key_fns, self.descending))
+
+        def key(values):
+            parts = []
+            for fn, desc in pairs:
+                value = fn(values, ctx)
+                part = (value is None,
+                        _MixedKey(value) if mixed else value)
+                parts.append(_Desc(part) if desc else part)
+            return tuple(parts)
+
+        return key
+
+    def _sort_chunk(self, chunk: list, ctx, mixed: bool):
+        """Sort one in-memory chunk; returns ``(chunk, mixed)`` with
+        ``mixed`` latched once any chunk needed the fallback."""
+        key = self._key(ctx, mixed)
+        try:
+            chunk.sort(key=lambda row: key(row[0]))
+        except TypeError:
+            if mixed:
+                raise
+            return self._sort_chunk(chunk, ctx, True)
+        return chunk, mixed
+
+    def _input(self, ctx) -> Iterator[ExecRow]:
+        return _row_source(self.child, self.batch_size, ctx)
+
+    def _sorted(self, ctx, source=None):
+        """All input rows in order: one in-memory sort when the input
+        fits ``ctx.work_mem`` (or no budget is set), else spooled
+        sorted runs merged by :meth:`_merge`."""
+        budget = ctx.work_mem
+        chunk: list = []
+        mem = 0
+        runs = None
+        mixed = False
+        for row in (source if source is not None else self._input(ctx)):
+            chunk.append(row)
+            if budget:
+                mem += estimate_row_bytes(row[0], row[1])
+                if mem > budget:
+                    chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
+                    if runs is None:
+                        runs = SortRuns()
+                    runs.spool(chunk)
+                    chunk = []
+                    mem = 0
+        chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
+        if runs is None:
+            return chunk
+        if chunk:
+            runs.spool(chunk)
+        key = self._key(ctx, True)
+        return heapq.merge(*(run.labeled_rows() for run in runs.runs),
+                           key=lambda row: key(row[0]))
+
+    def _result(self, ctx):
+        return self._sorted(ctx)
 
     def rows(self, ctx):
-        return iter(self._sorted(ctx))
+        return iter(self._result(ctx))
 
     def batches(self, ctx):
         if not self.batch_size:
             yield from Plan.batches(self, ctx)
             return
-        for chunk in _chunked(self._sorted(ctx), self.batch_size):
+        for chunk in _chunked(self._result(ctx), self.batch_size):
             yield RowBatch([row[0] for row in chunk],
                            [row[1] for row in chunk],
                            [row[2] for row in chunk])
 
 
+class TopN(Sort):
+    """ORDER BY … LIMIT as a bounded heap (optimizer rewrite).
+
+    Streams the input keeping only the best ``limit + offset`` rows
+    (``heapq.nsmallest`` — stable, so ties keep arrival order exactly
+    like the stable full sort), then discards the offset prefix.  A
+    small limit thus never materializes, sorts, or spills the full
+    input.  Heap keys always use the mixed-type-tolerant composite
+    (one failed comparison mid-stream could not be retried — the input
+    is not resumable).
+
+    Fallbacks preserve Sort+Limit semantics exactly: a NULL limit
+    degenerates to the (possibly external) full sort with an offset
+    skip, and when the heap itself could not fit ``work_mem`` (limit
+    within a constant of the input is the classic case) the operator
+    external-sorts instead of holding an over-budget heap.
+    """
+
+    def __init__(self, child: Plan, key_fns: List[Callable],
+                 descending: List[bool], limit_fn: Optional[Callable],
+                 offset_fn: Optional[Callable]):
+        Sort.__init__(self, child, key_fns, descending)
+        self.limit_fn = limit_fn
+        self.offset_fn = offset_fn
+
+    def _result(self, ctx):
+        limit = self.limit_fn([], ctx) if self.limit_fn else None
+        offset = (self.offset_fn([], ctx) if self.offset_fn else 0) or 0
+        if limit is None:
+            return islice(iter(self._sorted(ctx)), offset, None)
+        n = limit + offset
+        if n <= 0:
+            return iter(())
+        source = self._input(ctx)
+        first = next(source, None)
+        if first is None:
+            return iter(())
+        rewound = chain([first], source)
+        budget = ctx.work_mem
+        if budget and estimate_row_bytes(first[0], first[1]) * n > budget:
+            return islice(iter(self._sorted(ctx, rewound)), offset, n)
+        key = self._key(ctx, True)
+        top = heapq.nsmallest(n, rewound, key=lambda row: key(row[0]))
+        return iter(top[offset:])
+
+
 class Distinct(Plan):
+    """DISTINCT: collapse duplicate value tuples.
+
+    **Label union.**  Collapsing duplicates *reads* every one of them,
+    so under the tuple-granularity label model a distinct result row
+    carries the union of all collapsed rows' labels and ilabels — the
+    same semantics :class:`AggregateNode` applies to groups (an
+    earlier version kept the first-seen row's labels, silently
+    declassifying later duplicates).  That makes DISTINCT a blocking
+    operator: a late duplicate can still raise the label of an
+    already-seen tuple, so nothing is emitted until the input is
+    drained.
+
+    **Memory bound.**  Distinct state is group state with no
+    accumulators; it grace-spills through :class:`GroupSpill` exactly
+    like aggregation (resident keys keep absorbing duplicates, new
+    keys hash-partition to disk, partitions recurse with fresh salts).
+    Unlike :class:`AggregateNode` — whose ORDER BY sits *above* it —
+    Distinct sits above the Sort in a ``SELECT DISTINCT … ORDER BY``
+    plan, so its output order is user-visible.  Each row therefore
+    carries its arrival sequence through the spill: residents were all
+    first seen before any spooled key (spilling starts mid-stream) and
+    every recursive partition stream comes back seq-ascending, so
+    chaining residents with a seq-merge of the partitions restores
+    global first-seen order — i.e. the input (sorted) order — while
+    holding one row per partition stream.
+    """
+
     def __init__(self, child: Plan):
         self.child = child
+
+    def _fold(self, ctx, source, depth: int):
+        """Fold ``(seq, key, row)`` triples into distinct state;
+        yields ``(seq, values, label, ilabel)`` in ascending seq
+        (= global first-seen order)."""
+        budget = ctx.work_mem
+        rows_of: Dict[tuple, tuple] = {}
+        labels: Dict[tuple, Label] = {}
+        ilabels: Dict[tuple, Label] = {}
+        order: List[tuple] = []
+        spill = None
+        mem = 0
+        for seq, key, (values, label, ilabel) in source:
+            held = labels.get(key)
+            if held is not None:
+                labels[key] = held.union(label)
+                ilabels[key] = ilabels[key].union(ilabel)
+                continue
+            if spill is None and budget:
+                cost = estimate_row_bytes(values, label) + BUCKET_ENTRY_BYTES
+                if mem + cost > budget and order and depth < MAX_RECURSION:
+                    spill = GroupSpill(salt=depth, depth=depth)
+                else:
+                    mem += cost
+            if spill is not None:
+                # The seq rides in the spooled values (slot 0) so the
+                # labeled-row codec needs no side channel.
+                spill.add(key, ([seq] + values, label, ilabel))
+                continue
+            rows_of[key] = (seq, values)
+            labels[key] = label
+            ilabels[key] = ilabel
+            order.append(key)
+        streams = []
+        if spill is not None:
+            streams = [self._fold(ctx, _unspool_seq(partition), depth + 1)
+                       for partition in spill.partitions()]
+        for key in order:
+            seq, values = rows_of[key]
+            yield seq, values, labels[key], ilabels[key]
+        yield from heapq.merge(*streams, key=lambda item: item[0])
+
+    def _distinct(self, ctx):
+        def keyed():
+            source = _row_source(self.child, self.batch_size, ctx)
+            for seq, row in enumerate(source):
+                yield seq, tuple(row[0]), row
+        for _seq, values, label, ilabel in self._fold(ctx, keyed(), 0):
+            yield values, label, ilabel
 
     def rows(self, ctx):
         if self.batch_size:
             yield from self._drain(ctx)
             return
-        seen = set()
-        for values, label, ilabel in self.child.rows(ctx):
-            key = tuple(values)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield values, label, ilabel
+        yield from self._distinct(ctx)
 
     def batches(self, ctx):
         if not self.batch_size:
             yield from Plan.batches(self, ctx)
             return
-        seen = set()
-        add = seen.add
-        for batch in self.child.batches(ctx):
-            values = batch.values
-            keep = []
-            for i, row in enumerate(values):
-                key = tuple(row)
-                if key in seen:
-                    continue
-                add(key)
-                keep.append(i)
-            if len(keep) == len(values):
-                yield batch
-            elif keep:
-                yield batch.select(keep)
+        for chunk in _chunked(self._distinct(ctx), self.batch_size):
+            yield RowBatch([row[0] for row in chunk],
+                           [row[1] for row in chunk],
+                           [row[2] for row in chunk])
 
 
 class Limit(Plan):
@@ -1684,6 +1968,10 @@ def _explain_line(plan: Plan) -> str:
     # resident bytes (per-partition share when spilling).
     if plan.est_spill_partitions:
         line += "  spill_partitions=%d" % plan.est_spill_partitions
+    # External-sort runs the optimizer expects to spool (0 omitted —
+    # the sort fits its budget).
+    if plan.est_runs:
+        line += "  runs=%d" % plan.est_runs
     if plan.est_mem is not None:
         line += "  mem=%dB" % round(plan.est_mem)
     return line

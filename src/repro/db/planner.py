@@ -38,6 +38,8 @@ from .optimizer import (
     IndexJoinChoice,
     IndexRangeAccess,
     Optimizer,
+    estimate_group_spill,
+    estimate_sort_spill,
 )
 from .physical import (
     AggregateNode,
@@ -60,17 +62,19 @@ from .physical import (
     Scan,
     SingleRow,
     Sort,
+    TopN,
     ViewPlan,
     explain_plan,
     stamp_batch_size,
 )
+from .spill import estimated_tuple_bytes
 
 __all__ = [
     "AggregateNode", "AggSpec", "DeterministicOrder", "Distinct",
     "ExecContext", "ExecRow", "Filter", "HashJoin", "IndexLoopJoin",
     "IndexRangeScan", "IndexScan", "Limit", "NestedLoopJoin", "Plan",
     "Planner", "PreparedDML", "PreparedSelect", "Project", "Scan",
-    "SingleRow", "Sort", "ViewPlan", "explain_plan",
+    "SingleRow", "Sort", "TopN", "ViewPlan", "explain_plan",
 ]
 
 
@@ -389,6 +393,13 @@ class Planner:
 
         # ORDER BY before projection (so it can reference input columns),
         # with support for output aliases and 1-based positions.
+        # ORDER BY … LIMIT (no DISTINCT between them) rewrites to a
+        # single bounded-heap TopN absorbing the Limit node: everything
+        # separating the two — Project — is 1:1, so applying the limit
+        # at the sort is semantics-preserving and a small limit never
+        # sorts (or spills) the full input.  Naive/reference plans keep
+        # the literal Sort + Limit pair.
+        topn = None
         if select.order_by:
             key_fns = []
             descending = []
@@ -402,9 +413,24 @@ class Planner:
                 order_texts.append(ex.to_sql(resolved)
                                    + (" DESC" if order_item.descending
                                       else ""))
-            sort = Sort(plan, key_fns, descending)
-            sort.explain = "Sort [%s]" % ", ".join(order_texts)
+            if (select.limit is not None and not select.distinct
+                    and not self.optimizer.naive):
+                limit_fn = compiler.compile(select.limit)
+                offset_fn = (compiler.compile(select.offset)
+                             if select.offset is not None else None)
+                topn = TopN(plan, key_fns, descending, limit_fn, offset_fn)
+                topn.explain = "TopN [%s] (%s)" % (
+                    ", ".join(order_texts), self._limit_text(select))
+                sort: Plan = topn
+            else:
+                sort = Sort(plan, key_fns, descending)
+                sort.explain = "Sort [%s]" % ", ".join(order_texts)
             self._passthrough(sort, plan)
+            sort_width = (identity_width if identity_width is not None
+                          else query.width)
+            self._cost_sort(sort, plan, sort_width,
+                            self._topn_bound(select) if topn is not None
+                            else None)
             plan = sort
 
         # A projection whose every output expression is SlotRef(i), in
@@ -425,22 +451,98 @@ class Planner:
         if select.distinct:
             distinct = Distinct(plan)
             self._passthrough(distinct, plan)
+            self._cost_distinct(distinct, plan, len(names))
             plan = distinct
-        if select.limit is not None or select.offset is not None:
+        if (select.limit is not None or select.offset is not None) \
+                and topn is None:
             limit_fn = (compiler.compile(select.limit)
                         if select.limit is not None else None)
             offset_fn = (compiler.compile(select.offset)
                          if select.offset is not None else None)
             limit = Limit(plan, limit_fn, offset_fn)
-            parts = []
-            if select.limit is not None:
-                parts.append("limit %s" % ex.to_sql(select.limit))
-            if select.offset is not None:
-                parts.append("offset %s" % ex.to_sql(select.offset))
-            limit.explain = "Limit (%s)" % ", ".join(parts)
+            limit.explain = "Limit (%s)" % self._limit_text(select)
             self._passthrough(limit, plan)
             plan = limit
         return PreparedSelect(plan, list(names))
+
+    @staticmethod
+    def _limit_text(select) -> str:
+        parts = []
+        if select.limit is not None:
+            parts.append("limit %s" % ex.to_sql(select.limit))
+        if select.offset is not None:
+            parts.append("offset %s" % ex.to_sql(select.offset))
+        return ", ".join(parts)
+
+    @staticmethod
+    def _topn_bound(select) -> Optional[Tuple[int, int]]:
+        """``(limit, offset)`` when both are plain integer literals (the
+        common case the optimizer can size the TopN heap from); None
+        for parameterized/expression limits — those conservatively get
+        the full-sort estimate, matching the runtime's worst case."""
+        limit = select.limit
+        if not (isinstance(limit, ex.Literal) and isinstance(
+                limit.value, int) and not isinstance(limit.value, bool)):
+            return None
+        offset = 0
+        if select.offset is not None:
+            if not (isinstance(select.offset, ex.Literal) and isinstance(
+                    select.offset.value, int)
+                    and not isinstance(select.offset.value, bool)):
+                return None
+            offset = select.offset.value
+        return limit.value, offset
+
+    def _cost_sort(self, sort: Plan, child: Plan, width: int,
+                   topn_bound: Optional[Tuple[int, int]]) -> None:
+        """Attach sort estimates: full sorts get external-merge run
+        counts via :func:`estimate_sort_spill`; a TopN with a literal
+        bound gets its heap footprint (and the full-sort fallback
+        estimate when even the heap would break the budget)."""
+        child_rows = child.est_rows
+        if child_rows is None:
+            return
+        row_bytes = estimated_tuple_bytes(width)
+        input_bytes = child_rows * row_bytes
+        work_mem = self.optimizer.work_mem
+        if topn_bound is not None:
+            limit, offset = topn_bound
+            n = max(limit + offset, 0)
+            held = min(child_rows, float(n))
+            sort.est_rows = min(child_rows, float(max(limit, 0)))
+            heap_bytes = held * row_bytes
+            if work_mem and heap_bytes > work_mem:
+                runs, est_mem, extra = estimate_sort_spill(
+                    child_rows, input_bytes, work_mem)
+                sort.est_runs = runs
+                sort.est_mem = est_mem
+            else:
+                extra = 0.0
+                sort.est_mem = heap_bytes
+            sort.est_cost = (child.est_cost or 0.0) \
+                + COST_ROW * child_rows + extra
+            return
+        runs, est_mem, extra = estimate_sort_spill(
+            child_rows, input_bytes, work_mem)
+        sort.est_runs = runs
+        sort.est_mem = est_mem
+        sort.est_cost = (child.est_cost or 0.0) \
+            + COST_ROW * child_rows + extra
+
+    def _cost_distinct(self, distinct: Plan, child: Plan,
+                       width: int) -> None:
+        """DISTINCT is group state with no accumulators: cost it like
+        grace aggregation with zero specs (worst case, every input row
+        a distinct group)."""
+        child_rows = child.est_rows
+        if child_rows is None:
+            return
+        partitions, est_mem, extra = estimate_group_spill(
+            child_rows, child_rows, width, 0, self.optimizer.work_mem)
+        distinct.est_mem = est_mem
+        distinct.est_spill_partitions = partitions
+        distinct.est_cost = (child.est_cost or 0.0) \
+            + COST_ROW * child_rows + extra
 
     def _resolve_order_expr(self, expr, items, names):
         if isinstance(expr, ex.Literal) and isinstance(expr.value, int):
@@ -476,6 +578,22 @@ class Planner:
             ", ".join(ex.to_sql(a) for a in aggregates),
             " group by [%s]" % ", ".join(ex.to_sql(g) for g in group_exprs)
             if group_exprs else "")
+        child_rows = plan.est_rows
+        if child_rows is not None:
+            # Without NDV stats on the grouping expressions the group
+            # count defaults to the input cardinality — the worst case
+            # for memory, which is what the spill estimate must plan
+            # for.  Global aggregates hold exactly one group and never
+            # spill.
+            groups = child_rows if group_exprs else 1.0
+            partitions, est_mem, extra = estimate_group_spill(
+                child_rows, groups, len(group_exprs), len(specs),
+                self.optimizer.work_mem)
+            node.est_rows = groups
+            node.est_mem = est_mem
+            node.est_spill_partitions = partitions
+            node.est_cost = (plan.est_cost or 0.0) \
+                + COST_ROW * child_rows + extra
 
         # Post-aggregation rows: group values then aggregate results.
         rewrite_map: Dict[ex.Expr, ex.Expr] = {}

@@ -51,22 +51,35 @@ MAX_RECURSION = 6
 #: Estimated dict-entry overhead per build row (bucket list slot, key
 #: tuple, hash-table share), on top of :func:`estimate_row_bytes`.
 BUCKET_ENTRY_BYTES = 96
+#: Estimated footprint of one per-group aggregate accumulator
+#: (``physical._AggState``: a slotted object plus a few boxed fields,
+#: or a distinct-tracking set seed).  Charged per aggregate spec per
+#: group by both the runtime budget check and the optimizer's
+#: grace-aggregation estimate, so they agree on what group state
+#: weighs.
+AGG_STATE_BYTES = 120
 
 
 class SpillStats:
     """Process-wide spill counters (diff before/after, like
     ``rules.COUNTERS``).  ``spills`` counts top-level build-side
     overflow events (one per join that spilled, however deep the
-    recursion), ``repartitions`` recursive splits,
+    recursion), ``repartitions`` recursive splits — both grace-join
+    partitions and re-partitioned aggregation state — and
     ``partitions_created`` build spools that actually received rows;
     bytes are accounted when a spool switches from writing to
-    reading.  Registered as the ``spill`` group of the unified
+    reading.  ``sort_spills``/``sort_runs`` count external merge
+    sorts and the sorted runs they spooled; ``agg_spills``/
+    ``agg_partitions`` the grace hash aggregations (and DISTINCTs)
+    whose group state overflowed and the partitions that received
+    rows.  Registered as the ``spill`` group of the unified
     :data:`repro.db.metrics.REGISTRY`; ``bytes_spilled`` also feeds
     the per-statement stats (``Database.stats()["statements"]``) and
     EXPLAIN ANALYZE's ``spill_*`` columns."""
 
     __slots__ = ("spills", "partitions_created", "repartitions",
-                 "rows_spilled", "bytes_spilled")
+                 "rows_spilled", "bytes_spilled", "sort_spills",
+                 "sort_runs", "agg_spills", "agg_partitions")
 
     def __init__(self):
         self.reset()
@@ -77,13 +90,21 @@ class SpillStats:
         self.repartitions = 0
         self.rows_spilled = 0
         self.bytes_spilled = 0
+        self.sort_spills = 0
+        self.sort_runs = 0
+        self.agg_spills = 0
+        self.agg_partitions = 0
 
     def snapshot(self) -> dict:
         return {"spills": self.spills,
                 "partitions_created": self.partitions_created,
                 "repartitions": self.repartitions,
                 "rows_spilled": self.rows_spilled,
-                "bytes_spilled": self.bytes_spilled}
+                "bytes_spilled": self.bytes_spilled,
+                "sort_spills": self.sort_spills,
+                "sort_runs": self.sort_runs,
+                "agg_spills": self.agg_spills,
+                "agg_partitions": self.agg_partitions}
 
 
 #: The module-wide counter instance.
@@ -210,6 +231,19 @@ class SpillFile:
         for key, values, label_tags, ilabel_tags in self.records():
             yield key, decode_labeled_row((values, label_tags,
                                            ilabel_tags))
+
+    def write_labeled(self, row) -> None:
+        """Spool one keyless ``(values, label, ilabel)`` execution row
+        (the external-sort run format — order carries the information,
+        so no routing key is stored)."""
+        values, label, ilabel = row
+        self.write(encode_labeled_row(values, label, ilabel))
+
+    def labeled_rows(self) -> Iterator[tuple]:
+        """Yield ``(values, label, ilabel)`` triples in write order;
+        labels re-enter the intern table on decode."""
+        for record in self.records():
+            yield decode_labeled_row(record)
 
 
 class _Partition:
@@ -357,6 +391,76 @@ def _join_partition(build_records, probe_records, budget: int,
     for key, row in probe_records:
         child.spool_probe(key, row)
     yield from child.results()
+
+
+class SortRuns:
+    """Spooled sorted runs for one external merge sort.
+
+    Each run is a :class:`SpillFile` of keyless labeled rows
+    (:meth:`SpillFile.write_labeled`) in sorted order; the sort
+    operator k-way merges ``runs`` with a heap, so the merge fan-in is
+    unbounded — every run is merged in a single pass regardless of how
+    many the input produced.  Constructing the object marks the sort
+    as spilled (``sort_spills``); each spooled run bumps
+    ``sort_runs``.
+    """
+
+    __slots__ = ("runs",)
+
+    def __init__(self):
+        self.runs: List[SpillFile] = []
+        SPILL_STATS.sort_spills += 1
+
+    def spool(self, rows_in_order) -> None:
+        """Write one fully-sorted chunk of execution rows as a run."""
+        spool = SpillFile()
+        for row in rows_in_order:
+            spool.write_labeled(row)
+        self.runs.append(spool)
+        SPILL_STATS.sort_runs += 1
+
+
+class GroupSpill:
+    """Grace partitioner for overflowing hash-aggregation (and
+    DISTINCT) group state.
+
+    Rows whose group key is not already memory-resident are
+    hash-routed by ``(salt, key)`` into ``fanout`` spools; each
+    partition is later re-aggregated independently, and a partition
+    that *still* overflows is split again with a fresh salt — the same
+    fanout/salt/recursion scheme as :class:`SpilledHashBuild`, with
+    the same termination guarantee (a partition holding one distinct
+    key never creates a second group, so it never re-spills).  The
+    top-level overflow counts as ``agg_spills``; recursive splits as
+    ``repartitions``; a spool counts toward ``agg_partitions`` when it
+    first receives a row.
+    """
+
+    __slots__ = ("salt", "spools")
+
+    def __init__(self, *, salt: int = 0, depth: int = 0,
+                 fanout: int = SPILL_FANOUT):
+        self.salt = salt
+        self.spools: List[SpillFile] = [SpillFile() for _ in range(fanout)]
+        if depth == 0:
+            SPILL_STATS.agg_spills += 1
+        else:
+            SPILL_STATS.repartitions += 1
+
+    def add(self, key: tuple, row) -> None:
+        spool = self.spools[hash((self.salt, key)) % len(self.spools)]
+        if spool.count == 0:
+            SPILL_STATS.agg_partitions += 1
+        spool.write_row(key, row)
+
+    def partitions(self) -> Iterator[Iterator[Tuple[tuple, tuple]]]:
+        """Yield one ``(key, row)`` iterator per non-empty partition;
+        empty spools are closed without counting."""
+        for spool in self.spools:
+            if spool.count:
+                yield spool.rows()
+            else:
+                spool.close()
 
 
 def estimate_spill_plan(build_bytes: float, work_mem: int,

@@ -183,8 +183,11 @@ class StatementGenerator:
 
     def select(self) -> dict:
         rng = self.rng
-        if rng.random() < 0.45:
+        roll = rng.random()
+        if roll < 0.40:
             return self.select_join()
+        if roll < 0.70:
+            return self.select_sorted()
         where, params = self.predicate()
         if rng.random() < 0.5:
             sql = ("SELECT device, COUNT(*), MAX(value) FROM readings "
@@ -254,6 +257,57 @@ class StatementGenerator:
         return {"kind": "select", "session": self.session_kind(),
                 "sql": sql, "params": params}
 
+    #: Memory-bounded Sort/Aggregate/Distinct/Top-N templates.  The
+    #: harness compares result *sets*, so every LIMIT template orders
+    #: by a chain ending in the unique ``id`` (or the full group key):
+    #: a tie at the cut boundary would otherwise let both universes
+    #: legally return different-but-correct rows.  Under the 1KB
+    #: work_mem leg these are the statements that force external merge
+    #: sort runs and grace-partitioned aggregation (readings holds
+    #: ~250 rows ≈ 25KB).
+    SORT_TEMPLATES = (
+        # Full external sort (runs spooled + k-way merged at 1KB).
+        "SELECT r.id, r.value FROM readings r WHERE {w} "
+        "ORDER BY r.value DESC, r.id",
+        # Top-N bounded heap, unique tail key.
+        "SELECT r.id, r.kind, r.value FROM readings r WHERE {w} "
+        "ORDER BY r.kind, r.value, r.id LIMIT 7",
+        # Top-N with offset; heap bound is limit+offset.
+        "SELECT r.id FROM readings r WHERE {w} "
+        "ORDER BY r.ts, r.id LIMIT 5 OFFSET 3",
+        # Heap-busting limit: TopN falls back to the external sort.
+        "SELECT r.id, r.device, r.ts FROM readings r WHERE {w} "
+        "ORDER BY r.device, r.ts, r.id LIMIT 200 OFFSET 2",
+        # Grace-partitioned DISTINCT (duplicate-heavy key pair).
+        "SELECT DISTINCT r.device, r.kind FROM readings r WHERE {w}",
+        # DISTINCT above a Sort: spilled Distinct must keep the order.
+        "SELECT DISTINCT r.kind FROM readings r WHERE {w} "
+        "ORDER BY r.kind",
+        # Grace aggregation, then Top-N over the group rows.
+        "SELECT r.device, COUNT(*), MIN(r.value), MAX(r.value) "
+        "FROM readings r WHERE {w} GROUP BY r.device "
+        "ORDER BY r.device LIMIT 4",
+        # Wide aggregate state over the high-cardinality group key.
+        # SUM stays on an INT column: float summation is
+        # order-sensitive, and the access path legally reorders rows.
+        "SELECT r.ts, COUNT(*), SUM(r.device) FROM readings r WHERE {w} "
+        "GROUP BY r.ts ORDER BY COUNT(*) DESC, r.ts LIMIT 6",
+    )
+
+    def select_sorted(self) -> dict:
+        rng = self.rng
+        if rng.random() < 0.5:
+            where, params = self.predicate("r")
+        else:
+            # Single-table sorts don't explode like joins, so half the
+            # time keep most of the table: a handful of filtered rows
+            # fits any budget, and the 1KB leg must genuinely spool
+            # sort runs and grace-partition aggregate state.
+            where, params = "r.value >= ?", [round(rng.uniform(0, 25), 3)]
+        sql = rng.choice(self.SORT_TEMPLATES).format(w=where)
+        return {"kind": "select", "session": self.session_kind(),
+                "sql": sql, "params": params}
+
     def update(self) -> dict:
         rng = self.rng
         where, params = self.predicate()
@@ -317,7 +371,7 @@ def _run_differential(seed: int, n_statements: int,
     _populate(universes, gen)
     assert optimized.state() == reference.state(), \
         "%s populated state diverged" % tag
-    spills_before = SPILL_STATS.spills
+    spilled_before = SPILL_STATS.snapshot()
 
     executed = 0
     optimized_shapes, reference_shapes = set(), set()
@@ -344,10 +398,13 @@ def _run_differential(seed: int, n_statements: int,
     assert optimized_shapes & {IndexScan, IndexRangeScan}, optimized_shapes
     assert reference_shapes <= {Scan}, reference_shapes
     # Under a tight budget the run must actually have exercised the
-    # grace-spill machinery, or the work_mem matrix proves nothing.
+    # grace-spill machinery — hash joins, external sorts, AND grace
+    # aggregation/distinct — or the work_mem matrix proves nothing.
     if require_spill:
-        assert SPILL_STATS.spills > spills_before, \
-            "%s no hash join spilled under work_mem=%r" % (tag, work_mem)
+        spilled_after = SPILL_STATS.snapshot()
+        for counter in ("spills", "sort_spills", "agg_spills"):
+            assert spilled_after[counter] > spilled_before[counter], (
+                "%s no %s under work_mem=%r" % (tag, counter, work_mem))
 
 
 def test_differential_seeded():

@@ -1,0 +1,360 @@
+"""Memory-bounded Sort, Aggregate, and Distinct (external merge sort,
+grace hash aggregation, Top-N) plus the IFC label-union fix in
+duplicate-collapsing operators.
+
+Covers the PR-8 operator family end-to-end through the session layer:
+
+* an ORDER BY whose input exceeds ``work_mem`` spools sorted runs and
+  k-way merges them — the ordered output is *identical* to the
+  unbounded sort, and ``sort_spills``/``sort_runs`` prove the external
+  path actually ran;
+* GROUP BY and DISTINCT grace-partition overflowing group state and
+  recursively re-aggregate it, with ``agg_spills``/``agg_partitions``
+  accounting and EXPLAIN ``spill_partitions=``/``mem=`` annotations;
+* ORDER BY … LIMIT plans as a TopN bounded heap (no Limit node, no
+  full sort, no spill for small limits) that falls back to the
+  external sort when the heap itself could not fit the budget;
+* DISTINCT unions the labels and ilabels of *all* collapsed
+  duplicates — the regression where two equal rows under different
+  secrecy labels used to keep only the first row's label;
+* mixed-type sort keys (INT/TEXT from a CASE expression) fall back to
+  the type-tagged total order instead of raising, in memory and
+  across spilled runs;
+* LIMIT/OFFSET edges (LIMIT 0, OFFSET beyond the input, a limit
+  exactly on a batch boundary) agree across the row and batch
+  executors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
+from repro.db import Database
+from repro.db.spill import SPILL_STATS
+
+
+def _stack(work_mem, batch_size=None, naive=False, n_rows=600, seed=5):
+    """One database + session over a populated ``m`` table whose full
+    contents weigh ~40KB — comfortably over the tight budgets below."""
+    authority = AuthorityState(idgen=SeededIdGenerator(31))
+    db = Database(authority, seed=31, work_mem=work_mem,
+                  batch_size=batch_size, naive_plans=naive)
+    session = db.connect(IFCProcess(authority,
+                                    authority.create_principal("p").id))
+    session.execute("CREATE TABLE m (id INT PRIMARY KEY, k TEXT,"
+                    " grp INT, v FLOAT)")
+    rng = random.Random(seed)
+    for i in range(n_rows):
+        session.execute("INSERT INTO m VALUES (?, ?, ?, ?)",
+                        (i, "key-%04d" % rng.randint(0, 199),
+                         rng.randint(0, 49), round(rng.uniform(0, 100), 3)))
+    session.execute("ANALYZE")
+    return session
+
+
+def _ordered(session, sql, params=()):
+    """Order-sensitive result rows with labels."""
+    return [(tuple(r), tuple(sorted(r.label)))
+            for r in session.execute(sql, params).rows]
+
+
+def _explain(session, sql):
+    return [r[0] for r in session.execute("EXPLAIN " + sql).rows]
+
+
+# ---------------------------------------------------------------------------
+# external merge sort
+# ---------------------------------------------------------------------------
+
+def test_external_sort_matches_unbounded_and_counts():
+    sql = "SELECT * FROM m ORDER BY v DESC, id"
+    expected = _ordered(_stack(0), sql)
+    session = _stack(1024)
+    before = SPILL_STATS.snapshot()
+    got = _ordered(session, sql)
+    after = SPILL_STATS.snapshot()
+    assert got == expected                     # ordered, labels included
+    assert after["sort_spills"] > before["sort_spills"]
+    assert after["sort_runs"] >= before["sort_runs"] + 2
+    assert after["rows_spilled"] > before["rows_spilled"]
+
+
+def test_external_sort_explain_shows_runs_and_budget_mem():
+    session = _stack(1024)
+    sort_line = next(line for line in
+                     _explain(session, "SELECT * FROM m ORDER BY v")
+                     if "Sort" in line)
+    assert "runs=" in sort_line, sort_line
+    runs = int(sort_line.split("runs=")[1].split()[0])
+    assert runs >= 2
+    # Peak resident estimate is one budget-sized chunk, not the input.
+    est_mem = int(sort_line.split("mem=")[1].split("B")[0])
+    assert est_mem <= 1024
+    # Unbounded: no run annotation, the estimate is the materialized
+    # input.
+    free_line = next(line for line in
+                     _explain(_stack(0), "SELECT * FROM m ORDER BY v")
+                     if "Sort" in line)
+    assert "runs=" not in free_line
+
+
+def test_external_sort_batch_and_row_modes_agree():
+    sql = "SELECT id, v FROM m ORDER BY k, id"
+    by_mode = [_ordered(_stack(1024, batch_size=size), sql)
+               for size in (None, 1, 7)]
+    assert by_mode[0] == by_mode[1] == by_mode[2]
+
+
+# ---------------------------------------------------------------------------
+# grace hash aggregation
+# ---------------------------------------------------------------------------
+
+def test_grace_aggregation_matches_unbounded_and_counts():
+    sql = ("SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM m "
+           "GROUP BY k ORDER BY k")
+    expected = _ordered(_stack(0), sql)
+    session = _stack(1024)
+    before = SPILL_STATS.snapshot()
+    got = _ordered(session, sql)
+    after = SPILL_STATS.snapshot()
+    assert got == expected
+    assert after["agg_spills"] > before["agg_spills"]
+    assert after["agg_partitions"] > before["agg_partitions"]
+
+
+def test_grace_aggregation_explain_annotations():
+    session = _stack(1024)
+    agg_line = next(line for line in
+                    _explain(session, "SELECT k, COUNT(*) FROM m GROUP BY k")
+                    if "Aggregate" in line)
+    assert "spill_partitions=" in agg_line, agg_line
+    assert "mem=" in agg_line
+    # A global aggregate holds one group: never predicted to spill.
+    global_line = next(line for line in
+                       _explain(session, "SELECT COUNT(*) FROM m")
+                       if "Aggregate" in line)
+    assert "spill_partitions=" not in global_line
+
+
+def test_grace_aggregation_with_distinct_aggs_and_recursion():
+    """COUNT(DISTINCT …) state survives the spool round trip, and an
+    adversarial 1KB budget forces recursive re-partitioning."""
+    sql = ("SELECT grp, COUNT(DISTINCT k), AVG(v) FROM m "
+           "GROUP BY grp ORDER BY grp")
+    expected = _ordered(_stack(0), sql)
+    assert _ordered(_stack(1024), sql) == expected
+    assert _ordered(_stack(1024, batch_size=1), sql) == expected
+
+
+# ---------------------------------------------------------------------------
+# Top-N
+# ---------------------------------------------------------------------------
+
+def test_topn_rewrite_plan_shape_and_parity():
+    session = _stack(1024)
+    sql = "SELECT id, v FROM m ORDER BY v DESC, id LIMIT 7 OFFSET 3"
+    lines = _explain(session, sql)
+    assert any("TopN" in line for line in lines), lines
+    assert not any(line.strip().startswith(("Sort", "Limit"))
+                   for line in lines), lines
+    # Naive/reference plans keep the literal Sort + Limit pair.
+    naive_lines = _explain(_stack(0, naive=True), sql)
+    assert any("Sort" in line for line in naive_lines)
+    assert any("Limit" in line for line in naive_lines)
+    assert not any("TopN" in line for line in naive_lines)
+    assert _ordered(session, sql) == _ordered(_stack(0, naive=True), sql)
+
+
+def test_topn_small_limit_never_spills():
+    """A 5-row heap fits a 2KB budget even though the 600-row input
+    (~40KB) never could: the bounded heap must not touch disk."""
+    session = _stack(2048)
+    before = SPILL_STATS.sort_spills
+    got = _ordered(session, "SELECT * FROM m ORDER BY v, id LIMIT 5")
+    assert len(got) == 5
+    assert SPILL_STATS.sort_spills == before  # bounded heap, no runs
+    assert got == _ordered(_stack(0),
+                           "SELECT * FROM m ORDER BY v, id LIMIT 5")
+
+
+def test_topn_falls_back_to_external_sort_for_huge_limits():
+    """A limit within a constant of the input would need an over-budget
+    heap; the operator must external-sort instead — and still match."""
+    sql = "SELECT * FROM m ORDER BY v, id LIMIT 590"
+    expected = _ordered(_stack(0), sql)
+    session = _stack(1024)
+    before = SPILL_STATS.sort_spills
+    assert _ordered(session, sql) == expected
+    assert SPILL_STATS.sort_spills > before
+
+
+def test_topn_parameterized_limit():
+    sql = "SELECT id FROM m ORDER BY id LIMIT ?"
+    session = _stack(1024)
+    assert [r[0][0] for r in _ordered(session, sql, (4,))] == [0, 1, 2, 3]
+    assert _ordered(session, sql, (0,)) == []
+
+
+# ---------------------------------------------------------------------------
+# DISTINCT: label union + spill
+# ---------------------------------------------------------------------------
+
+def _labeled_duplicates():
+    """Two sessions insert the *same* tuple values under different
+    secrecy labels; a reader tagged with both sees both rows."""
+    authority = AuthorityState(idgen=SeededIdGenerator(77))
+    db = Database(authority, seed=77)
+    owner = authority.create_principal("owner")
+    tag_a = authority.create_tag("dup-a", owner=owner.id)
+    tag_b = authority.create_tag("dup-b", owner=owner.id)
+    proc_a = IFCProcess(authority, owner.id)
+    proc_a.add_secrecy(tag_a.id)
+    proc_b = IFCProcess(authority, owner.id)
+    proc_b.add_secrecy(tag_b.id)
+    reader_proc = IFCProcess(authority, owner.id)
+    reader_proc.add_secrecy(tag_a.id)
+    reader_proc.add_secrecy(tag_b.id)
+    public = db.connect(IFCProcess(authority, owner.id))
+    session_a = db.connect(proc_a)
+    session_b = db.connect(proc_b)
+    reader = db.connect(reader_proc)
+    public.execute("CREATE TABLE d (k TEXT, v INT)")
+    session_a.execute("INSERT INTO d VALUES (?, ?)", ("dup", 1))
+    session_b.execute("INSERT INTO d VALUES (?, ?)", ("dup", 1))
+    session_a.execute("INSERT INTO d VALUES (?, ?)", ("only-a", 2))
+    return reader, tag_a.id, tag_b.id
+
+
+def test_distinct_unions_labels_of_collapsed_duplicates():
+    """Regression: DISTINCT used to keep the first-seen row's label,
+    silently declassifying the collapsed duplicates.  A result row must
+    be labeled with the union of every tuple that influenced it —
+    exactly AggregateNode's group semantics (section 4.2)."""
+    reader, tag_a, tag_b = _labeled_duplicates()
+    rows = reader.execute("SELECT DISTINCT k, v FROM d").rows
+    by_key = {tuple(r): set(r.label) for r in rows}
+    assert by_key[("dup", 1)] == {tag_a, tag_b}
+    assert by_key[("only-a", 2)] == {tag_a}
+
+
+def test_distinct_label_union_matches_group_by():
+    """DISTINCT and the equivalent GROUP BY must label rows alike."""
+    reader, _tag_a, _tag_b = _labeled_duplicates()
+    distinct = sorted((tuple(r), tuple(sorted(r.label))) for r in
+                      reader.execute("SELECT DISTINCT k, v FROM d").rows)
+    grouped = sorted((tuple(r), tuple(sorted(r.label))) for r in
+                     reader.execute("SELECT k, v FROM d GROUP BY k, v").rows)
+    assert distinct == grouped
+
+
+def test_distinct_spills_and_preserves_sorted_order():
+    """``SELECT DISTINCT … ORDER BY`` places the Sort *below* the
+    Distinct, so a spilling Distinct must preserve its input order —
+    the arrival-sequence merge guarantees first-seen (= sorted) order
+    even when state grace-partitions to disk."""
+    sql = "SELECT DISTINCT k, grp FROM m ORDER BY k, grp"
+    expected = _ordered(_stack(0), sql)
+    session = _stack(1024)
+    before = SPILL_STATS.snapshot()
+    got = _ordered(session, sql)
+    after = SPILL_STATS.snapshot()
+    assert got == expected                     # ordered comparison
+    assert after["agg_spills"] > before["agg_spills"]
+
+
+# ---------------------------------------------------------------------------
+# mixed-type sort keys
+# ---------------------------------------------------------------------------
+
+MIXED_SQL = ("SELECT id, CASE WHEN grp < 25 THEN grp ELSE k END FROM m "
+             "ORDER BY CASE WHEN grp < 25 THEN grp ELSE k END, id")
+
+
+def test_mixed_type_order_by_does_not_raise():
+    """The natural per-column key raises TypeError on INT/TEXT mixes
+    that DeterministicOrder handles fine; Sort must fall back to the
+    type-tagged total order — numbers before strings, natural order
+    within each class — identically in memory and across spilled runs
+    (different runs may hold mutually incomparable types)."""
+    in_memory = _ordered(_stack(0), MIXED_SQL)
+    assert len(in_memory) == 600
+    mixed_values = [row[0][1] for row in in_memory]
+    ints = [v for v in mixed_values if isinstance(v, int)]
+    strs = [v for v in mixed_values if isinstance(v, str)]
+    assert ints and strs
+    # Numbers first (sorted), then strings (sorted): the tagged order.
+    assert mixed_values[:len(ints)] == sorted(ints)
+    assert mixed_values[len(ints):] == sorted(strs)
+
+
+def test_mixed_type_order_by_spilled_matches_in_memory():
+    expected = _ordered(_stack(0), MIXED_SQL)
+    session = _stack(1024)
+    before = SPILL_STATS.sort_spills
+    assert _ordered(session, MIXED_SQL) == expected
+    assert SPILL_STATS.sort_spills > before
+    assert _ordered(_stack(1024, batch_size=1), MIXED_SQL) == expected
+
+
+def test_mixed_type_topn():
+    sql = MIXED_SQL + " LIMIT 8"
+    expected = _ordered(_stack(0, naive=True), sql)
+    assert _ordered(_stack(1024), sql) == expected
+
+
+# ---------------------------------------------------------------------------
+# LIMIT/OFFSET edges: row/batch executor parity
+# ---------------------------------------------------------------------------
+
+EDGE_QUERIES = (
+    # Plain Limit node (no ORDER BY: heap order is deterministic and
+    # identical across executors on identically-populated databases).
+    ("SELECT id FROM m LIMIT 0", ()),
+    ("SELECT id FROM m LIMIT ? OFFSET ?", (5, 10_000)),   # offset past end
+    ("SELECT id FROM m LIMIT 8", ()),                     # = batch boundary
+    ("SELECT id FROM m LIMIT 7 OFFSET 1", ()),            # spans boundary
+    # TopN edges.
+    ("SELECT id FROM m ORDER BY v, id LIMIT 0", ()),
+    ("SELECT id FROM m ORDER BY v, id LIMIT 5 OFFSET 10000", ()),
+    ("SELECT id FROM m ORDER BY v, id LIMIT 8 OFFSET 8", ()),
+    # Sort + Limit without a limit: OFFSET alone.
+    ("SELECT id FROM m ORDER BY v, id OFFSET 595", ()),
+)
+
+
+def test_limit_offset_edges_row_batch_parity():
+    sessions = [_stack(0, naive=True),        # row-at-a-time reference
+                _stack(0),                    # default batches
+                _stack(0, batch_size=1),      # every boundary exists
+                _stack(0, batch_size=8)]      # limits land on boundaries
+    for sql, params in EDGE_QUERIES:
+        results = [_ordered(s, sql, params) for s in sessions]
+        assert results.count(results[0]) == len(results), \
+            (sql, [len(r) for r in results])
+
+
+def test_limit_zero_and_far_offset_return_nothing():
+    session = _stack(0)
+    assert session.execute("SELECT * FROM m LIMIT 0").rows == []
+    assert session.execute(
+        "SELECT * FROM m ORDER BY id LIMIT 3 OFFSET 10000").rows == []
+
+
+# ---------------------------------------------------------------------------
+# metrics wiring
+# ---------------------------------------------------------------------------
+
+def test_explain_analyze_reports_sort_and_agg_counters():
+    session = _stack(1024)
+    text = "\n".join(r[0] for r in session.execute(
+        "EXPLAIN ANALYZE SELECT k, COUNT(*) FROM m GROUP BY k ORDER BY k"))
+    assert "sort_runs=" in text, text
+    assert "agg_spills=" in text, text
+
+
+def test_snapshot_has_sort_and_agg_fields():
+    snap = SPILL_STATS.snapshot()
+    for field in ("sort_spills", "sort_runs", "agg_spills",
+                  "agg_partitions"):
+        assert field in snap
