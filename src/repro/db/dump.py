@@ -24,6 +24,9 @@ exemption, section 7.1).
 from __future__ import annotations
 
 import pickle
+import struct
+import warnings
+import zlib
 from typing import Dict, List, Optional
 
 from ..core.labels import Label
@@ -33,7 +36,36 @@ from .engine import Database
 from .indexes import OrderedIndex
 from .spill import decode_labeled_row, encode_labeled_row
 
-FORMAT = "ifdb-dump-v1"
+FORMAT = "ifdb-dump-v2"
+#: Dump container: magic, then ``<u32 payload length><u32 crc32>``,
+#: then the pickled payload.  The checksum turns a truncated download
+#: or a flipped bit into a clear :class:`DatabaseError` instead of an
+#: arbitrary mid-``pickle`` exception (or, worse, a quietly wrong
+#: object graph).
+MAGIC = b"IFDBDMP2"
+_HEADER = struct.Struct("<II")
+
+
+class DumpIncompleteWarning(UserWarning):
+    """A dump or restore skipped catalog objects it cannot serialize.
+
+    Functions, procedures, and triggers are Python callables, which a
+    dump cannot round-trip (pickling arbitrary closures is neither
+    reliable nor safe to load).  Rather than silently producing an
+    incomplete backup — the failure mode this warning exists to
+    prevent — both :func:`dump_database` and :func:`restore_database`
+    emit it, listing exactly what the restored database will lack so
+    the operator can re-register those objects programmatically.
+    """
+
+
+def _unserializable(db: Database) -> List[str]:
+    """Catalog objects a dump must drop, as ``kind name`` strings."""
+    omitted: List[str] = []
+    omitted.extend("function %s" % n for n in sorted(db.catalog.functions))
+    omitted.extend("procedure %s" % n for n in sorted(db.catalog.procedures))
+    omitted.extend("trigger %s" % n for n in sorted(db.catalog.triggers))
+    return omitted
 
 
 def dump_database(db: Database) -> bytes:
@@ -66,14 +98,22 @@ def dump_database(db: Database) -> bytes:
         views = {name: (view.select, view.columns,
                         tuple(view.declassify.tags), view.principal)
                  for name, view in db.catalog.views.items()}
+        omitted = _unserializable(db)
+        if omitted:
+            warnings.warn(DumpIncompleteWarning(
+                "dump omits %d catalog object(s) that cannot be "
+                "serialized: %s" % (len(omitted), ", ".join(omitted))),
+                stacklevel=2)
         payload = {
             "format": FORMAT,
             "tables": tables,
             "views": views,
             "table_order": _dependency_order(db),
             "sequences": dict(db._sequences),
+            "omitted": omitted,
         }
-        return pickle.dumps(payload)
+        body = pickle.dumps(payload)
+        return MAGIC + _HEADER.pack(len(body), zlib.crc32(body)) + body
     finally:
         db.txn_manager.abort(txn)
 
@@ -97,16 +137,53 @@ def _dependency_order(db: Database) -> List[str]:
     return ordered
 
 
+def _check_and_load(data: bytes) -> dict:
+    """Validate the dump container before touching ``pickle``.
+
+    Every corruption mode gets a precise :class:`DatabaseError`:
+    wrong/old format (bad magic), truncation (length mismatch), and
+    bit rot (checksum mismatch).  Only a byte-exact payload reaches
+    ``pickle.loads`` — and even that is wrapped, so a hostile or
+    mangled payload cannot surface an arbitrary unpickling exception.
+    """
+    if len(data) < len(MAGIC) + _HEADER.size or not data.startswith(MAGIC):
+        raise DatabaseError(
+            "not an IFDB dump (bad magic; expected a %s-format file)"
+            % FORMAT)
+    length, crc = _HEADER.unpack_from(data, len(MAGIC))
+    body = data[len(MAGIC) + _HEADER.size:]
+    if len(body) != length:
+        raise DatabaseError(
+            "truncated IFDB dump: header promises %d payload bytes, "
+            "found %d" % (length, len(body)))
+    if zlib.crc32(body) != crc:
+        raise DatabaseError(
+            "corrupted IFDB dump: payload checksum mismatch "
+            "(expected %08x, got %08x)" % (crc, zlib.crc32(body)))
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise DatabaseError("undecodable IFDB dump payload: %s" % exc)
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise DatabaseError("not an IFDB dump (format %r, expected %r)"
+                            % (payload.get("format") if
+                               isinstance(payload, dict) else None, FORMAT))
+    return payload
+
+
 def restore_database(data: bytes, db: Database) -> None:
     """Load a dump into an empty database sharing the authority state.
 
     Tuples are written physically (labels restored verbatim), bypassing
     Query by Label like the dump did; constraints are re-validated by
     construction since the dump came from a consistent database.
+    Finishes with ``ANALYZE`` so post-restore queries plan on real
+    statistics instead of defaults until drift catches up, and
+    re-emits :class:`DumpIncompleteWarning` when the dump recorded
+    omitted catalog objects (functions/procedures/triggers the
+    operator must re-register).
     """
-    payload = pickle.loads(data)
-    if payload.get("format") != FORMAT:
-        raise DatabaseError("not an IFDB dump")
+    payload = _check_and_load(data)
     if db.catalog.tables:
         raise DatabaseError("restore requires an empty database")
 
@@ -136,6 +213,13 @@ def restore_database(data: bytes, db: Database) -> None:
             name=name, select=select, columns=list(columns),
             declassify=Label(declassify_tags), principal=principal))
     db._sequences.update(payload["sequences"])
+    omitted = payload.get("omitted") or []
+    if omitted:
+        warnings.warn(DumpIncompleteWarning(
+            "restored database lacks %d catalog object(s) the dump could "
+            "not serialize: %s" % (len(omitted), ", ".join(omitted))),
+            stacklevel=2)
+    db.analyze()
 
 
 def dump_to_file(db: Database, path: str) -> None:

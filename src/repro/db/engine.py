@@ -59,6 +59,7 @@ from .stats import StatsManager
 from .storage import Table
 from .transactions import SNAPSHOT, TransactionManager
 from .types import type_by_name
+from . import wal as wal_mod
 
 
 class PreparedInsert:
@@ -98,7 +99,9 @@ class Database:
                  batch_size: Optional[int] = None,
                  work_mem: Optional[int] = None,
                  slow_query_ms: Optional[float] = None,
-                 audit_log: Optional[int] = None):
+                 audit_log: Optional[int] = None,
+                 wal: Optional[str] = None,
+                 group_commit_ms: Optional[float] = None):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -182,6 +185,45 @@ class Database:
         if audit_log is None:
             audit_log = int(os.environ.get("REPRO_AUDIT_LOG", "0"))
         self.audit = AuditLog(audit_log) if audit_log else None
+        # -- durability (db/wal.py) --------------------------------------
+        # ``wal`` is a log file path; ``None`` defers to ``REPRO_WAL``,
+        # which names a *directory* so every Database in the process
+        # gets its own log.  ``group_commit_ms`` is the commit-delay
+        # window leaders wait for stragglers (``REPRO_GROUP_COMMIT_MS``;
+        # 0 = fsync per flush leader, still batching whatever is
+        # already queued).  Unset → no WAL, the seed behaviour.
+        if wal is None:
+            wal_dir = os.environ.get("REPRO_WAL", "").strip()
+            if wal_dir:
+                os.makedirs(wal_dir, exist_ok=True)
+                wal = wal_mod.auto_wal_path(wal_dir)
+        if group_commit_ms is None:
+            group_commit_ms = float(os.environ.get("REPRO_GROUP_COMMIT_MS",
+                                                   "0"))
+        self.group_commit_ms = max(0.0, float(group_commit_ms))
+        self.wal: Optional[wal_mod.WriteAheadLog] = None
+        if isinstance(wal, wal_mod.WriteAheadLog):
+            self.wal = wal                 # tests inject fault specs here
+        elif wal is not None:
+            self.wal = wal_mod.WriteAheadLog(
+                wal, group_commit_ms=self.group_commit_ms)
+        #: True while ``recover`` replays a log: suppresses re-logging
+        #: of replayed DDL/sequence traffic.
+        self._wal_replaying = False
+        #: Replay watermark: log records below this index are already
+        #: applied to this database (makes ``recover`` idempotent).
+        self._wal_applied = 0
+        #: Per-table original-tid → recovered-tid maps (replayed heaps
+        #: are denser than the originals: aborted appends are absent).
+        self._wal_tid_maps: Dict[str, Dict[int, int]] = {}
+        #: Sequences bumped since the last logged commit; attached to
+        #: the next commit record (sequences are non-transactional, so
+        #: they ride along rather than get their own records).
+        self._wal_dirty_seqs: Dict[str, int] = {}
+        #: Commits applied by replay; ``recover`` refuses to run once
+        #: ``txn_manager.commits`` has moved past this (new local
+        #: commits would make the watermark meaningless).
+        self._wal_replay_commits = 0
         self._reader = None
         self._reader_version = -1
         self._metrics_cells: List[Tuple[str, str]] = []
@@ -350,6 +392,7 @@ class Database:
                       buffer_cache=self.buffer_cache,
                       store_labels=self.ifc_enabled)
         self.catalog.add_table(table)
+        self._wal_log_ddl(("ddl", "create_table", schema))
         return table
 
     def create_index(self, name: str, table_name: str,
@@ -357,6 +400,8 @@ class Database:
         table = self.catalog.get_table(table_name)
         index = table.create_index(name, columns, ordered=ordered)
         self.catalog._bump()
+        self._wal_log_ddl(("ddl", "create_index", table_name, name,
+                           tuple(columns), ordered))
         return index
 
     def drop_index(self, name: str) -> None:
@@ -370,6 +415,7 @@ class Database:
                 % (name, ", ".join(sorted(t.name for t in owners))))
         owners[0].drop_index(name)
         self.catalog._bump()
+        self._wal_log_ddl(("ddl", "drop_index", name))
 
     def create_view(self, name: str, select: ast.Select, *,
                     declassify: Label = EMPTY_LABEL,
@@ -392,6 +438,9 @@ class Database:
                        columns=list(prepared.columns),
                        declassify=declassify, principal=principal)
         self.catalog.add_view(view)
+        self._wal_log_ddl(("ddl", "create_view", name, select,
+                           tuple(view.columns), tuple(declassify),
+                           principal))
         return view
 
     def create_function(self, name: str, fn: Callable, *,
@@ -448,9 +497,11 @@ class Database:
                 return Result()
             self.catalog.drop_table(statement.name)
             self.stats_manager.forget(statement.name)
+            self._wal_log_ddl(("ddl", "drop_table", statement.name))
             return Result()
         if isinstance(statement, ast.DropView):
             self.catalog.drop_view(statement.name)
+            self._wal_log_ddl(("ddl", "drop_view", statement.name))
             return Result()
         if isinstance(statement, ast.DropIndex):
             self.drop_index(statement.name)
@@ -543,6 +594,12 @@ class Database:
         """
         value = self._sequences.get(name, 0) + 1
         self._sequences[name] = value
+        if self.wal is not None and not self._wal_replaying:
+            # Sequences are non-transactional (like PostgreSQL's): the
+            # bump becomes durable with the next logged commit, which
+            # records the then-current value (replay takes the max, so
+            # it is idempotent and monotone).
+            self._wal_dirty_seqs[name] = value
         return value
 
     # ------------------------------------------------------------------
@@ -572,6 +629,78 @@ class Database:
             removed += table.vacuum(self.txn_manager)
         self.txn_manager.aborted_reclaimed()
         return removed
+
+    # ------------------------------------------------------------------
+    # durability (db/wal.py)
+    # ------------------------------------------------------------------
+    def _wal_log_commit(self, txn) -> None:
+        """Make ``txn`` durable; called by ``Session.commit`` *before*
+        the transaction manager acknowledges.  Raises (``WalError`` /
+        ``CrashError``) when durability cannot be promised — the caller
+        aborts the transaction, upholding logged-before-acknowledged."""
+        if self.wal is None or self._wal_replaying:
+            return
+        record = wal_mod.build_commit_record(self, txn)
+        if record is None:
+            return                       # read-only: nothing to log
+        try:
+            self.wal.log_commit(record)
+        except BaseException:
+            # Put the un-logged sequence bumps back so a later commit
+            # (fsync-failure mode: the process survives) re-carries
+            # them rather than silently dropping durability for them.
+            for name, value in record[3].items():
+                if value > self._wal_dirty_seqs.get(name, 0):
+                    self._wal_dirty_seqs[name] = value
+            raise
+
+    def _wal_log_ddl(self, record: tuple) -> None:
+        """Log a DDL effect (immediately durable, non-transactional)."""
+        if self.wal is not None and not self._wal_replaying:
+            self.wal.log(record)
+
+    def _take_wal_sequences(self) -> Dict[str, int]:
+        """Detach the sequences bumped since the last logged commit."""
+        if not self._wal_dirty_seqs:
+            return {}
+        seqs = self._wal_dirty_seqs
+        self._wal_dirty_seqs = {}
+        return seqs
+
+    def recover(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Replay a WAL into this database (trusted maintenance op).
+
+        ``path`` defaults to this database's own log.  Must run before
+        the database commits anything of its own — the usual shape is
+        a fresh ``Database`` sharing the crashed instance's authority
+        state (tag ids must resolve identically).  Idempotent: records
+        below the replay watermark are skipped, so recovering twice is
+        a no-op.  Returns replay statistics (records seen/applied,
+        transactions, DDL, tail disposition).
+        """
+        if path is None:
+            if self.wal is None:
+                raise wal_mod.WalError("no WAL configured and no path given")
+            path = self.wal.path
+        if self.txn_manager.write_commits != 0:
+            # Replayed transactions bypass ``record_write``, so any
+            # write commit here is the database's own — its heap tids
+            # are unknown to the replay tid maps and replaying over
+            # them could double-apply.  (Read-only commits are fine.)
+            raise wal_mod.WalError(
+                "recover() must run before this database commits its own "
+                "writes (%d write commits present)"
+                % self.txn_manager.write_commits)
+        self._wal_replaying = True
+        try:
+            return wal_mod.replay(self, path)
+        finally:
+            self._wal_replaying = False
+
+    def close(self) -> None:
+        """Release the WAL file (the engine itself needs no teardown)."""
+        if self.wal is not None:
+            self.wal.close()
 
     # ------------------------------------------------------------------
     # metrics (db/metrics.py)

@@ -1,0 +1,173 @@
+"""Fault injection for the durability subsystem.
+
+Crash recovery that is merely *implemented* is recovery that silently
+rots; it has to be *proven* against every place a machine can die.  This
+module wraps the write-ahead log's file object (see
+:mod:`repro.db.wal`) with a deterministic fault schedule so the crash
+matrix in ``tests/test_wal.py`` can kill the "process" at every write
+boundary, inside a record (torn and short writes), and at the fsync
+gate — and then assert that :meth:`repro.db.engine.Database.recover`
+reconstructs exactly the acknowledged-commit prefix, labels included.
+
+Injection points are counted over the raw ``write``/``fsync`` calls the
+WAL issues (the WAL writes exactly one call per record, plus one for
+the file magic, so "write #N" is a stable, enumerable coordinate):
+
+``record:N``
+    Simulated power loss immediately *before* write ``N``: nothing of
+    the record reaches the file.
+``torn:N``
+    Torn page write: the first half of write ``N``'s bytes reach the
+    file, then the machine dies mid-record.
+``short:N``
+    A short write that dies inside the record *header* (first 3 bytes
+    only) — the nastiest tail a scanner can meet.
+``fsync:N``
+    The ``N``-th ``fsync`` raises ``OSError`` instead of crashing.
+    This is not a power loss: the process survives, but the kernel
+    refused to promise durability, so the WAL must refuse to
+    acknowledge the commit (and truncate the unsynced tail — the
+    "fsync-gate" discipline; see :class:`repro.db.wal.WriteAheadLog`).
+
+Specs come either from the ``REPRO_CRASH_POINT`` environment variable
+(the CI sweep) or programmatically via :meth:`FaultSpec.parse` (the
+in-process crash matrix).  After a crash fires, the wrapped file is
+dead: every further operation raises :class:`CrashError`, modelling a
+process that no longer exists.  The bytes already written remain on
+disk for recovery to find, which is the point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import DatabaseError
+
+#: Environment variable holding the active crash point, e.g.
+#: ``REPRO_CRASH_POINT=torn:12``.
+ENV_VAR = "REPRO_CRASH_POINT"
+
+#: Injection modes that simulate power loss at/inside a write.
+CRASH_MODES = ("record", "torn", "short")
+#: The non-crash mode: fsync reports failure but the process lives.
+FSYNC_MODE = "fsync"
+
+
+class CrashError(DatabaseError):
+    """Simulated power loss: the process owning this file is dead.
+
+    Raised by :class:`FaultyFile` at the scheduled injection point and
+    on every operation thereafter.  Test drivers treat it the way an
+    operator treats a dead server — discard the in-memory state and
+    recover from the log.
+    """
+
+
+class FaultSpec:
+    """A parsed injection point: ``(mode, n)``."""
+
+    __slots__ = ("mode", "n")
+
+    def __init__(self, mode: str, n: int):
+        if mode not in CRASH_MODES + (FSYNC_MODE,):
+            raise ValueError("unknown fault mode %r" % mode)
+        if n < 0:
+            raise ValueError("fault ordinal must be >= 0, got %d" % n)
+        self.mode = mode
+        self.n = n
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``"<mode>:<n>"`` (the ``REPRO_CRASH_POINT`` syntax)."""
+        try:
+            mode, _, ordinal = text.partition(":")
+            return cls(mode.strip(), int(ordinal))
+        except (ValueError, AttributeError):
+            raise ValueError(
+                "bad crash point %r; expected <mode>:<n> with mode one of "
+                "%s" % (text, ", ".join(CRASH_MODES + (FSYNC_MODE,)))
+            ) from None
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultSpec"]:
+        """The spec in ``REPRO_CRASH_POINT``, or ``None`` when unset."""
+        text = os.environ.get(ENV_VAR, "").strip()
+        return cls.parse(text) if text else None
+
+    def __repr__(self):
+        return "FaultSpec(%s:%d)" % (self.mode, self.n)
+
+
+class FaultyFile:
+    """A counting, optionally-faulting wrapper around a WAL file.
+
+    Wraps any object exposing ``write(bytes)``, ``fsync()``,
+    ``truncate(n)``, ``size()``, and ``close()`` (the
+    :class:`repro.db.wal._RealFile` adapter).  With ``spec=None`` it is
+    a pure pass-through that counts calls — the crash matrix first does
+    a clean run to enumerate ``writes``/``fsyncs``, then replays the
+    workload once per coordinate with a live spec.
+    """
+
+    __slots__ = ("_inner", "spec", "writes", "fsyncs", "dead")
+
+    def __init__(self, inner, spec: Optional[FaultSpec] = None):
+        self._inner = inner
+        self.spec = spec
+        self.writes = 0          # write calls seen (== records + magic)
+        self.fsyncs = 0          # fsync calls seen
+        self.dead = False
+
+    # -- crash machinery -----------------------------------------------
+    def _die(self, partial: bytes = b"") -> None:
+        """Write the surviving prefix (if any), then die for good."""
+        if partial:
+            self._inner.write(partial)
+        self.dead = True
+        raise CrashError(
+            "simulated crash at %r (write #%d, fsync #%d)"
+            % (self.spec, self.writes, self.fsyncs))
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise CrashError("file is dead (crashed earlier at %r)"
+                             % (self.spec,))
+
+    # -- the file interface --------------------------------------------
+    def write(self, data: bytes) -> None:
+        self._check_alive()
+        spec = self.spec
+        if spec is not None and spec.mode in CRASH_MODES \
+                and self.writes == spec.n:
+            self.writes += 1
+            if spec.mode == "record":
+                self._die()                        # nothing reaches disk
+            if spec.mode == "torn":
+                self._die(data[:max(1, len(data) // 2)])
+            self._die(data[:3])                    # "short": mid-header
+        self.writes += 1
+        self._inner.write(data)
+
+    def fsync(self) -> None:
+        self._check_alive()
+        spec = self.spec
+        if spec is not None and spec.mode == FSYNC_MODE \
+                and self.fsyncs == spec.n:
+            self.fsyncs += 1
+            raise OSError("simulated fsync failure (fsync #%d)" % spec.n)
+        self.fsyncs += 1
+        self._inner.fsync()
+
+    def truncate(self, n: int) -> None:
+        # Truncation is the WAL's *reaction* to an fsync failure, not a
+        # durability promise, so it stays available after an OSError —
+        # but not after a simulated power loss.
+        self._check_alive()
+        self._inner.truncate(n)
+
+    def size(self) -> int:
+        return self._inner.size()
+
+    def close(self) -> None:
+        self._inner.close()

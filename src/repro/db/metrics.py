@@ -54,6 +54,7 @@ from . import indexes as _indexes
 from . import physical as _physical
 from . import spill as _spill
 from . import stats as _stats
+from . import wal as _wal
 
 _perf_counter = time.perf_counter
 
@@ -218,6 +219,7 @@ REGISTRY.register("index", _indexes.COUNTERS)
 REGISTRY.register("exec", _physical.EXEC_COUNTERS)
 REGISTRY.register("spill", _spill.SPILL_STATS)
 REGISTRY.register("stats", _stats.COUNTERS)
+REGISTRY.register("wal", _wal.WAL_STATS)
 
 
 def reset() -> None:
@@ -409,11 +411,18 @@ _ANALYZE_LABELS: Dict[Tuple[str, str], str] = {
     ("spill", "sort_runs"): "sort_runs",
     ("spill", "agg_spills"): "agg_spills",
     ("spill", "agg_partitions"): "agg_partitions",
+    ("wal", "records"): "wal_records",
+    ("wal", "bytes"): "wal_bytes",
+    ("wal", "flushes"): "wal_flushes",
+    ("wal", "commits"): "wal_commits",
 }
 
 #: Counters that never appear in per-operator EXPLAIN ANALYZE lines.
 #: The stats sweep can fire during planning, outside any operator.
-_ANALYZE_SKIP = {("stats", "tables_collected"), ("stats", "drift_refreshes")}
+_ANALYZE_SKIP = {("stats", "tables_collected"), ("stats", "drift_refreshes"),
+                 # A high-water gauge, not a counter — deltas between
+                 # two reads of it are meaningless.
+                 ("wal", "group_commit_size")}
 
 
 class OpStats:

@@ -165,7 +165,16 @@ class Session:
             isolation or self.db.default_isolation)
 
     def commit(self) -> None:
-        """Run deferred actions, check the commit label, and commit."""
+        """Run deferred actions, check the commit label, log, and commit.
+
+        Ordering is the durability contract: the transaction's WAL
+        record must be durable (written *and* fsynced — see
+        ``db/wal.py``) before ``txn_manager.commit`` acknowledges it.
+        Any failure in that chain — deferred action, commit-label rule,
+        torn log write, refused fsync — aborts the transaction, so a
+        commit the client was never told about can't survive a crash
+        and a crash can't surface a commit the client saw fail.
+        """
         txn = self.transaction
         if txn is None:
             raise TransactionError("no transaction to commit")
@@ -175,6 +184,7 @@ class Session:
             if self.db.ifc_enabled:
                 self.db.txn_manager.check_commit_label(
                     txn, self.label, self.db.authority.tags)
+            self.db._wal_log_commit(txn)
         except BaseException:
             self.db.txn_manager.abort(txn)
             self.transaction = None
@@ -541,7 +551,7 @@ class Session:
             new_version = table.append(new_values, version.label,
                                        version.ilabel, txn.xid)
             txn.record_write(table.name, new_version.tid, new_version.label,
-                             "update")
+                             "update", prev_tid=version.tid)
             count += 1
             self.db.rows_updated += 1
             fire_triggers(self.db, self, table, UPDATE, AFTER,

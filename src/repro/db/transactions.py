@@ -51,15 +51,25 @@ class Snapshot:
 
 
 class WriteRecord:
-    """One entry in a transaction's write set (for the commit-label rule)."""
+    """One entry in a transaction's write set.
 
-    __slots__ = ("table", "tid", "label", "kind")
+    Serves two consumers: the commit-label rule (``table``/``label``)
+    and the write-ahead log (``tid``/``prev_tid``/``kind`` describe the
+    heap effect so ``db/wal.py`` can serialize the transaction as one
+    replayable record).  For updates ``tid`` is the *new* version and
+    ``prev_tid`` the version whose ``xmax`` was stamped; replay needs
+    both ends of the chain.
+    """
 
-    def __init__(self, table: str, tid: int, label: Label, kind: str):
+    __slots__ = ("table", "tid", "label", "kind", "prev_tid")
+
+    def __init__(self, table: str, tid: int, label: Label, kind: str,
+                 prev_tid: Optional[int] = None):
         self.table = table
         self.tid = tid
         self.label = label
         self.kind = kind               # "insert" | "update" | "delete"
+        self.prev_tid = prev_tid       # updates: the superseded version
 
 
 class DeferredAction:
@@ -93,8 +103,9 @@ class Transaction:
         self.status = IN_PROGRESS
 
     def record_write(self, table: str, tid: int, label: Label,
-                     kind: str) -> None:
-        self.write_set.append(WriteRecord(table, tid, label, kind))
+                     kind: str, prev_tid: Optional[int] = None) -> None:
+        self.write_set.append(WriteRecord(table, tid, label, kind,
+                                          prev_tid))
 
     def defer(self, action: DeferredAction) -> None:
         self.deferred.append(action)
@@ -108,6 +119,12 @@ class TransactionManager:
         self._status: Dict[int, str] = {}
         self._active: Set[int] = set()
         self.commits = 0
+        #: Commits whose write set was non-empty.  Replayed transactions
+        #: (``db/wal.py`` applies heap effects directly, bypassing
+        #: ``record_write``) do not count, which is what lets
+        #: ``Database.recover`` tell "fresh database, safe to replay"
+        #: from "this database has written on its own".
+        self.write_commits = 0
         self.aborts = 0
         self._committed_prefix = 1     # see committed_horizon()
         #: Aborted xids whose heap versions may still exist.  A full
@@ -143,6 +160,8 @@ class TransactionManager:
         self._status[txn.xid] = COMMITTED
         self._active.discard(txn.xid)
         self.commits += 1
+        if txn.write_set:
+            self.write_commits += 1
 
     def abort(self, txn: Transaction) -> None:
         if txn.status != IN_PROGRESS:

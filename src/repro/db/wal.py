@@ -1,0 +1,522 @@
+"""Append-only write-ahead log with group commit and crash recovery.
+
+Until this module, the engine's durability story was a lie told
+politely: commits mutated the in-process heap and the only persistence
+was a trusted :mod:`repro.db.dump` snapshot, so a crash lost every
+transaction since the last dump — *including its labels*, which makes
+it an IFC hole, not just a data-loss one (a recovery path that drops or
+garbles labels is a declassification channel).  The WAL closes that
+gap with the standard crash-consistency discipline:
+
+* **Logged before acknowledged.**  ``Session.commit`` serializes the
+  transaction's entire write set into ONE log record and hands it to
+  :meth:`WriteAheadLog.log_commit`, which returns only after the bytes
+  are written *and fsynced*; only then does
+  :class:`~repro.db.transactions.TransactionManager` flip the
+  transaction to ``COMMITTED``.  One record per transaction makes
+  prefix-atomicity structural: a torn record simply *is* an
+  uncommitted transaction.
+* **Group commit.**  Concurrent committers ride one fsync: the first
+  committer becomes the flush leader (optionally sleeping
+  ``group_commit_ms`` to let stragglers accumulate), writes every
+  pending record, issues a single fsync, and wakes the group.  A
+  commit that arrives mid-flush waits and is absorbed by the next
+  leader.  ``Database(wal=…, group_commit_ms=…)`` / ``REPRO_WAL`` /
+  ``REPRO_GROUP_COMMIT_MS`` configure it.
+* **Checksummed, length-prefixed records.**  Each record is
+  ``<u32 length><u32 crc32(payload)><payload>``; the payload reuses the
+  labeled-row codec shared with :mod:`repro.db.spill` and
+  :mod:`repro.db.dump` (labels flatten to plain tag tuples and
+  **re-intern on replay**, so a recovered label is ``is``-identical to
+  the live interned one and the scan-level label memos keep working).
+* **Recovery** (:func:`replay`, surfaced as ``Database.recover``)
+  scans the log, stops at the first torn/corrupt record (the tail a
+  crash leaves), and re-applies each committed transaction under a
+  fresh xid: heap versions, ``xmax`` stamps, indexes (rebuilt by
+  ``Table.append``), labels, sequences, and logged DDL.  Aborted
+  transactions were never logged, so they cannot stall the recovered
+  committed horizon.  Replay is idempotent: a per-database watermark
+  skips already-applied records, so recovering twice is a no-op.
+* **The fsync gate.**  If fsync *fails* (as opposed to the machine
+  dying), the kernel has refused to promise durability, and the bytes
+  may or may not be on disk.  Acknowledging would be unsound;
+  silently retrying is the classic fsync-gate bug.  The WAL truncates
+  the file back to the last durable offset, marks itself failed
+  (every later commit errors), and raises — the commit is refused, so
+  recovery can never replay a transaction whose commit the client was
+  told failed.
+
+Like dump/restore and the garbage collector (sections 7.1/7.2), the
+WAL and recovery are *trusted maintenance operations*: they read and
+write tuples bypassing Query by Label, and they must — recovery's whole
+job is to restore high tuples a confined process could never see.  The
+log file therefore carries every label in the clear and must be
+protected like the heap itself.
+
+Fault injection (:mod:`repro.db.faultinject`, ``REPRO_CRASH_POINT``)
+wraps the file so ``tests/test_wal.py`` can prove all of the above at
+every injection point rather than assume it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import time
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.labels import Label
+from ..errors import DatabaseError
+from .faultinject import CrashError, FaultSpec, FaultyFile
+from .spill import decode_labeled_row, encode_labeled_row
+
+#: File magic, written once at creation; a file that does not start
+#: with it recovers as empty (zero records).
+MAGIC = b"IFDBWAL1"
+#: Per-record header: payload length, crc32(payload).
+_HEADER = struct.Struct("<II")
+
+
+class WalError(DatabaseError):
+    """The WAL could not make a record durable; the commit is refused."""
+
+
+class WalStats:
+    """Process-wide WAL counters, registered as the ``wal`` group of
+    the unified :data:`repro.db.metrics.REGISTRY` (so they surface in
+    ``Database.stats()``, per-statement deltas, and EXPLAIN ANALYZE's
+    statement-total line).  ``group_commit_size`` is a high-water mark
+    (largest number of commits absorbed by one flush), not an additive
+    counter."""
+
+    __slots__ = ("records", "bytes", "flushes", "fsyncs", "commits",
+                 "commit_flushes", "group_commit_size")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.records = 0          # records appended (commit + ddl)
+        self.bytes = 0            # record bytes written (incl. headers)
+        self.flushes = 0          # successful flush batches
+        self.fsyncs = 0           # successful fsync calls
+        self.commits = 0          # commit records made durable
+        self.commit_flushes = 0   # flushes that covered >= 1 commit
+        self.group_commit_size = 0  # max commits in one flush (gauge)
+
+    def snapshot(self) -> dict:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+
+#: The module-wide counter instance.
+WAL_STATS = WalStats()
+
+_AUTO_COUNTER = [0]
+_AUTO_LOCK = threading.Lock()
+
+
+def auto_wal_path(directory: str) -> str:
+    """A unique WAL path inside ``directory`` (the ``REPRO_WAL=<dir>``
+    mode, where every ``Database`` in the process gets its own log)."""
+    with _AUTO_LOCK:
+        _AUTO_COUNTER[0] += 1
+        n = _AUTO_COUNTER[0]
+    return os.path.join(directory, "wal-%d-%d.log" % (os.getpid(), n))
+
+
+class _RealFile:
+    """Unbuffered append-mode file with the interface
+    :class:`~repro.db.faultinject.FaultyFile` wraps: every ``write``
+    reaches the OS immediately, so the simulated-crash prefix on disk
+    is exactly what the injector let through."""
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, path: str):
+        self._handle = open(path, "ab", buffering=0)
+
+    def write(self, data: bytes) -> None:
+        self._handle.write(data)
+
+    def fsync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def truncate(self, n: int) -> None:
+        self._handle.truncate(n)
+
+    def size(self) -> int:
+        return os.fstat(self._handle.fileno()).st_size
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+def encode_record(record: tuple) -> bytes:
+    """One length-prefixed, checksummed record image."""
+    payload = pickle.dumps(record, pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_wal(path: str) -> Tuple[List[tuple], int, Optional[str]]:
+    """Read every valid record; stop at the first torn/corrupt one.
+
+    Returns ``(records, valid_bytes, tail)`` where ``valid_bytes`` is
+    the offset of the last well-formed record boundary (what an
+    appender should truncate to) and ``tail`` names why scanning
+    stopped early (``None`` for a clean end-of-file).
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, "missing"
+    if not data:
+        return [], 0, None
+    if len(data) < len(MAGIC) or data[:len(MAGIC)] != MAGIC:
+        return [], 0, "bad-magic"
+    records: List[tuple] = []
+    offset = len(MAGIC)
+    tail: Optional[str] = None
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            tail = "torn-header"
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        payload = data[offset + _HEADER.size:offset + _HEADER.size + length]
+        if len(payload) < length:
+            tail = "torn-record"
+            break
+        if zlib.crc32(payload) != crc:
+            tail = "bad-checksum"
+            break
+        try:
+            records.append(pickle.loads(payload))
+        except Exception:
+            tail = "undecodable"
+            break
+        offset += _HEADER.size + length
+    return records, offset, tail
+
+
+class _Entry:
+    """One record waiting in the group-commit queue."""
+
+    __slots__ = ("data", "is_commit", "done", "error")
+
+    def __init__(self, data: bytes, is_commit: bool):
+        self.data = data
+        self.is_commit = is_commit
+        self.done = False
+        self.error = None
+
+
+class WriteAheadLog:
+    """The append-only log file plus the group-commit machinery.
+
+    Opening an existing file *repairs its tail*: the valid record
+    prefix is kept and any torn/corrupt bytes a crash left behind are
+    truncated away, so appending can never bury committed records
+    behind garbage a future recovery would stop at.
+    """
+
+    def __init__(self, path: str, *, group_commit_ms: float = 0.0,
+                 fault: Optional[FaultSpec] = None,
+                 stats: WalStats = WAL_STATS):
+        self.path = path
+        self._stats = stats
+        self._delay = max(0.0, float(group_commit_ms)) / 1000.0
+        _records, valid, tail = scan_wal(path)
+        self.existing_records = len(_records)
+        real = _RealFile(path)
+        if tail not in (None, "missing") or real.size() > valid:
+            # Torn/corrupt tail (or bad magic): keep the valid prefix.
+            real.truncate(valid if tail != "bad-magic" else 0)
+        if fault is None:
+            fault = FaultSpec.from_env()
+        self.fault = FaultyFile(real, fault)
+        self._file = self.fault
+        self._durable = self._file.size()
+        self._failed: Optional[BaseException] = None
+        self._cond = threading.Condition()
+        self._pending: List[_Entry] = []
+        self._flushing = False
+        if self._durable == 0:
+            # Fresh (or fully-truncated) file: stamp the magic.  This
+            # goes through the injector too — crash-before-magic is a
+            # legitimate matrix coordinate.
+            self._file.write(MAGIC)
+            self._file.fsync()
+            self._durable = len(MAGIC)
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def log(self, record: tuple) -> None:
+        """Append a non-transactional record (DDL), durable on return."""
+        self._submit(_Entry(encode_record(record), is_commit=False))
+
+    def log_commit(self, record: tuple) -> None:
+        """Append a commit record; returns only once it is durable.
+
+        This is the acknowledgement gate: the caller must not mark the
+        transaction committed until this returns.  Raises
+        :class:`WalError` (fsync refused, log failed) or
+        :class:`~repro.db.faultinject.CrashError` (simulated power
+        loss) — either way the commit did not happen.
+        """
+        self._submit(_Entry(encode_record(record), is_commit=True))
+
+    def _submit(self, entry: _Entry) -> None:
+        with self._cond:
+            if self._failed is not None:
+                raise WalError(
+                    "WAL %s is failed (%s); refusing new records"
+                    % (self.path, self._failed))
+            self._pending.append(entry)
+            while not entry.done and self._flushing:
+                self._cond.wait()
+            if entry.done:
+                if entry.error is not None:
+                    raise entry.error
+                return
+            self._flushing = True           # we are the flush leader
+        if self._delay:
+            # commit_delay: let concurrent committers pile into
+            # ``_pending`` so one fsync covers them all.
+            time.sleep(self._delay)
+        with self._cond:
+            batch = self._pending
+            self._pending = []
+        error = self._flush_batch(batch)
+        with self._cond:
+            self._flushing = False
+            if error is not None:
+                self._failed = error
+            for waiting in batch:
+                waiting.done = True
+                waiting.error = error
+            self._cond.notify_all()
+        if error is not None:
+            raise error
+
+    def _flush_batch(self, batch: List[_Entry]) -> Optional[BaseException]:
+        """Write every record, then one fsync.  Returns the failure (if
+        any) instead of raising so the leader can wake the group before
+        propagating."""
+        stats = self._stats
+        written = 0
+        try:
+            for entry in batch:
+                self._file.write(entry.data)
+                written += len(entry.data)
+        except CrashError as crash:
+            return crash
+        try:
+            self._file.fsync()
+        except CrashError as crash:
+            return crash
+        except OSError as exc:
+            # The fsync gate: durability was refused and the written
+            # bytes are in an unknown state.  Truncate them away so a
+            # later recovery cannot replay a commit we are about to
+            # refuse, then fail the log for good (PostgreSQL panics
+            # here for the same reason).
+            try:
+                self._file.truncate(self._durable)
+            except (OSError, CrashError):
+                pass
+            return WalError(
+                "WAL fsync failed; commit refused and %d unsynced bytes "
+                "truncated: %s" % (written, exc))
+        commits = sum(1 for entry in batch if entry.is_commit)
+        stats.records += len(batch)
+        stats.bytes += written
+        stats.flushes += 1
+        stats.fsyncs += 1
+        stats.commits += commits
+        if commits:
+            stats.commit_flushes += 1
+            if commits > stats.group_commit_size:
+                stats.group_commit_size = commits
+        self._durable = self._durable + written
+        return None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return self._failed is not None
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# building commit records (the Session.commit hook)
+# ---------------------------------------------------------------------------
+
+def build_commit_record(db, txn) -> Optional[tuple]:
+    """Serialize one transaction's effects as a single WAL record.
+
+    ``("commit", xid, ops, seqs)`` where each op is
+
+    * ``("i", table, tid, (values, label_tags, ilabel_tags))`` — an
+      inserted version (tid is the *original* heap tid; replay maps it
+      to the recovered heap through a per-table tid map);
+    * ``("u", table, old_tid, new_tid, row)`` — an update: stamp
+      ``xmax`` on the mapped old version, append the new one;
+    * ``("d", table, tid)`` — a delete: stamp ``xmax``.
+
+    ``seqs`` carries the sequences this database bumped since the last
+    logged commit (name → value at commit time), so sequence state
+    recovers with the transaction that made it observable.  Returns
+    ``None`` for a read-only transaction with no sequence traffic —
+    nothing to make durable.
+    """
+    ops: List[tuple] = []
+    for write in txn.write_set:
+        table = db.catalog.get_table(write.table)
+        if write.kind == "insert":
+            version = table.version(write.tid)
+            ops.append(("i", write.table, write.tid,
+                        encode_labeled_row(version.values, version.label,
+                                           version.ilabel)))
+        elif write.kind == "update":
+            version = table.version(write.tid)      # the new version
+            ops.append(("u", write.table, write.prev_tid, write.tid,
+                        encode_labeled_row(version.values, version.label,
+                                           version.ilabel)))
+        else:                                        # "delete"
+            ops.append(("d", write.table, write.tid))
+    seqs = db._take_wal_sequences()
+    if not ops and not seqs:
+        return None
+    return ("commit", txn.xid, ops, seqs)
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+def replay(db, path: str) -> Dict[str, object]:
+    """Re-apply the valid record prefix of ``path`` into ``db``.
+
+    Trusted maintenance operation (like dump/restore): heap writes
+    bypass Query by Label and labels are restored verbatim (re-interned
+    via the shared codec).  The database must share the authority state
+    of the logging database so tag ids resolve.
+
+    Idempotent: ``db`` keeps a watermark of applied record indexes, so
+    replaying the same log again is a no-op.  To keep the watermark
+    meaningful the database must not have committed new (non-replay)
+    transactions since — ``Database.recover`` enforces that.
+    """
+    records, valid_bytes, tail = scan_wal(path)
+    applied = transactions = ddl = 0
+    skipped = db._wal_applied
+    for index, record in enumerate(records):
+        if index < db._wal_applied:
+            continue
+        kind = record[0]
+        if kind == "commit":
+            _apply_commit(db, record)
+            transactions += 1
+        elif kind == "ddl":
+            _apply_ddl(db, record)
+            ddl += 1
+        else:
+            raise WalError("unknown WAL record kind %r at index %d"
+                           % (kind, index))
+        applied += 1
+        db._wal_applied = index + 1
+    return {"records": len(records), "applied": applied,
+            "skipped": min(skipped, len(records)),
+            "transactions": transactions, "ddl": ddl,
+            "valid_bytes": valid_bytes, "tail": tail}
+
+
+def _apply_commit(db, record: tuple) -> None:
+    """Replay one committed transaction under a fresh xid."""
+    _kind, _orig_xid, ops, seqs = record
+    tid_maps = db._wal_tid_maps
+    txn = db.txn_manager.begin()
+    try:
+        for op in ops:
+            table = db.catalog.get_table(op[1])
+            tid_map = tid_maps.setdefault(op[1], {})
+            if op[0] == "i":
+                values, label, ilabel = decode_labeled_row(op[3])
+                version = table.append(tuple(values), label, ilabel,
+                                       txn.xid)
+                tid_map[op[2]] = version.tid
+            elif op[0] == "u":
+                # Tids created during replay differ from the originals
+                # (aborted appends never hit the log), hence the map;
+                # a tid absent from it predates WAL logging (the log
+                # was attached to a pre-populated database), where heap
+                # tids are identical by construction.
+                old = table.version(tid_map.get(op[2], op[2]))
+                old.xmax = txn.xid
+                values, label, ilabel = decode_labeled_row(op[4])
+                version = table.append(tuple(values), label, ilabel,
+                                       txn.xid)
+                tid_map[op[3]] = version.tid
+            elif op[0] == "d":
+                old = table.version(tid_map.get(op[2], op[2]))
+                old.xmax = txn.xid
+                table.modifications += 1
+            else:
+                raise WalError("unknown WAL op %r" % (op[0],))
+    except BaseException:
+        db.txn_manager.abort(txn)
+        raise
+    db.txn_manager.commit(txn)
+    db._wal_replay_commits += 1
+    for name, value in seqs.items():
+        if value > db._sequences.get(name, 0):
+            db._sequences[name] = value
+
+
+def _apply_ddl(db, record: tuple) -> None:
+    """Replay one DDL record (logged at execution, non-transactional)."""
+    from .catalog import ViewDef
+    verb = record[1]
+    if verb == "create_table":
+        db.create_table(record[2])
+    elif verb == "create_index":
+        db.create_index(record[3], record[2], record[4],
+                        ordered=record[5])
+    elif verb == "drop_index":
+        db.drop_index(record[2])
+    elif verb == "create_view":
+        # Direct catalog write, mirroring restore_database: the view's
+        # backing authority was checked when the view was created and
+        # recovery is a trusted operation — re-checking here could make
+        # an otherwise-valid log unreplayable after a later revocation
+        # (uses re-validate authority regardless, so enforcement is
+        # unchanged).
+        _v, _n, name, select, columns, declassify_tags, principal = record
+        db.catalog.add_view(ViewDef(
+            name=name, select=select, columns=list(columns),
+            declassify=Label(declassify_tags), principal=principal))
+    elif verb == "drop_table":
+        db.catalog.drop_table(record[2])
+        db.stats_manager.forget(record[2])
+    elif verb == "drop_view":
+        db.catalog.drop_view(record[2])
+    else:
+        raise WalError("unknown WAL DDL verb %r" % (verb,))

@@ -97,6 +97,67 @@ class TestDumpRestore:
         with pytest.raises(Exception):
             restore_database(b"not a dump", Database(populated.authority))
 
+    def test_restore_runs_analyze(self, populated):
+        """Restored tables plan on real statistics immediately, not on
+        defaults until drift forces a refresh."""
+        fresh = Database(populated.authority, seed=8)
+        restore_database(dump_database(populated.db), fresh)
+        assert "Visits" in fresh.stats_manager.analyzed()
+        stats = fresh.stats_manager.peek("HIVPatients")
+        assert stats is not None and stats.row_count == 3
+
+
+class TestDumpIntegrity:
+    """The CRC/format-version container (corruption must fail clearly)."""
+
+    def test_truncated_dump_rejected(self, populated):
+        data = dump_database(populated.db)
+        with pytest.raises(DatabaseError, match="truncated"):
+            restore_database(data[:-20], Database(populated.authority))
+
+    def test_bit_flip_rejected(self, populated):
+        data = bytearray(dump_database(populated.db))
+        data[-10] ^= 0x40
+        with pytest.raises(DatabaseError, match="checksum"):
+            restore_database(bytes(data), Database(populated.authority))
+
+    def test_old_format_rejected_with_clear_error(self, populated):
+        import pickle
+        legacy = pickle.dumps({"format": "ifdb-dump-v1", "tables": {}})
+        with pytest.raises(DatabaseError, match="magic"):
+            restore_database(legacy, Database(populated.authority))
+
+    def test_header_shorter_than_magic_rejected(self, populated):
+        with pytest.raises(DatabaseError, match="magic"):
+            restore_database(b"IF", Database(populated.authority))
+
+
+class TestDumpCompleteness:
+    """Unserializable catalog objects must never vanish silently."""
+
+    def test_dump_warns_about_functions_and_triggers(self, populated):
+        from repro.db.dump import DumpIncompleteWarning
+        db = populated.db
+        db.create_function("shout", lambda s: str(s).upper())
+        db.create_procedure("audit_proc", lambda session: None)
+        with pytest.warns(DumpIncompleteWarning, match="SHOUT") as caught:
+            data = dump_database(db)
+        assert any("audit_proc" in str(w.message) for w in caught)
+        fresh = Database(populated.authority, seed=9)
+        with pytest.warns(DumpIncompleteWarning, match="function SHOUT|"
+                                                       "procedure"):
+            restore_database(data, fresh)
+        assert "Visits" in fresh.catalog.tables
+        assert not fresh.catalog.functions and not fresh.catalog.procedures
+
+    def test_complete_dump_does_not_warn(self, populated, recwarn):
+        data = dump_database(populated.db)
+        fresh = Database(populated.authority, seed=10)
+        restore_database(data, fresh)
+        from repro.db.dump import DumpIncompleteWarning
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DumpIncompleteWarning)]
+
 
 class TestDescribe:
     def test_describe_shows_label_histogram(self, medical):
