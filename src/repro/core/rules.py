@@ -31,13 +31,14 @@ from __future__ import annotations
 
 from weakref import WeakKeyDictionary
 
+from .counters import CounterGroup
 from .labels import Label
 from .tags import TagRegistry
 
 _CACHE_CAP = 1 << 16
 
 
-class RuleCounters:
+class RuleCounters(CounterGroup):
     """Process-wide invocation counters for the label rules.
 
     ``covers_calls``/``strip_calls`` count *invocations* of the two
@@ -53,25 +54,15 @@ class RuleCounters:
     :mod:`repro.db.physical`, not here, because under the batched
     label-run memo a suppression does not always correspond to a
     ``covers`` call.  Counters are global (labels and registries are
-    process-wide too); measurements should diff before/after — the
-    metrics registry registers this instance as its ``labels`` group
-    and does exactly that around every statement.
+    process-wide too) but accumulate per thread
+    (:class:`~repro.core.counters.CounterGroup`), so concurrent
+    statements cannot contaminate each other's deltas; measurements
+    should diff before/after — the metrics registry registers this
+    instance as its ``labels`` group and does exactly that around
+    every statement.
     """
 
-    __slots__ = ("covers_calls", "strip_calls", "rows_suppressed")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.covers_calls = 0
-        self.strip_calls = 0
-        self.rows_suppressed = 0
-
-    def snapshot(self) -> dict:
-        return {"covers_calls": self.covers_calls,
-                "strip_calls": self.strip_calls,
-                "rows_suppressed": self.rows_suppressed}
+    FIELDS = ("covers_calls", "strip_calls", "rows_suppressed")
 
 
 #: The module-wide counter instance (see :class:`RuleCounters`).

@@ -18,6 +18,7 @@ Two construction-time switches drive the benchmarks:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -101,7 +102,8 @@ class Database:
                  slow_query_ms: Optional[float] = None,
                  audit_log: Optional[int] = None,
                  wal: Optional[str] = None,
-                 group_commit_ms: Optional[float] = None):
+                 group_commit_ms: Optional[float] = None,
+                 workers: Optional[int] = None):
         if authority is None:
             idgen = SeededIdGenerator(seed) if seed is not None else None
             authority = AuthorityState(idgen=idgen)
@@ -134,6 +136,14 @@ class Database:
         if work_mem is None:
             work_mem = int(os.environ.get("REPRO_WORK_MEM", "0"))
         self.work_mem = max(0, int(work_mem))
+        # Parallel worker-pool size: ``None`` defers to the
+        # ``REPRO_WORKERS`` environment variable (CI runs a tier-1 job
+        # at 2), then serial (0).  The planner inserts Gather exchange
+        # operators above parallel-safe subtrees and hands the pool to
+        # spilling joins/aggregates; 0 and 1 both mean serial.
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+        self.workers = max(0, int(workers))
         # ``naive_plans`` forces reference plans (full scans, nested
         # loops, no pushdown, row-at-a-time execution) — the
         # differential harness's known-good executor; see
@@ -142,7 +152,8 @@ class Database:
                                stats=self.stats_manager,
                                naive=naive_plans,
                                batch_size=self.batch_size,
-                               work_mem=self.work_mem)
+                               work_mem=self.work_mem,
+                               workers=self.workers)
         self._parse_cache: Dict[str, object] = {}
         # Prepared-plan caches, keyed by SQL text (or statement identity
         # for programmatic statements); each entry is
@@ -231,6 +242,13 @@ class Database:
         self._suppressed_cell = -1
         self._norm_keys: Dict[str, str] = {}
         self._last_statement = None
+        # Statement collectors (statement_stats / slow_queries / audit /
+        # _norm_keys) are shared by every session on this database;
+        # concurrent statements update them under this lock.  The
+        # counter *reads* need no lock: they are per-thread
+        # (core/counters.py), which is what makes the bracket deltas
+        # safe under concurrency in the first place.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # connections
@@ -720,9 +738,11 @@ class Database:
             owners.append((buffer_stats, field))
         self._metrics_cells = cells
         self._reader = compile_reader(owners)
-        self._reader_version = self.metrics.version
         self._spill_bytes_cell = cells.index(("spill", "bytes_spilled"))
         self._suppressed_cell = cells.index(("labels", "rows_suppressed"))
+        # Version last: a concurrent reader that sees the new version
+        # sees the fully-rebuilt reader state.
+        self._reader_version = self.metrics.version
 
     def metrics_cells(self) -> List[Tuple[str, str]]:
         """``(group, field)`` names, one per :meth:`read_counters` slot."""
@@ -767,25 +787,30 @@ class Database:
             key = self._norm_keys.get(sql)
             if key is None:
                 key = normalize_sql(sql)
-                if len(self._norm_keys) < 4096:
-                    self._norm_keys[sql] = key
         else:
             # Programmatic statements (no SQL text) aggregate by shape.
             key = "<%s>" % type(statement).__name__
-        cell = self._spill_bytes_cell
-        self.statement_stats.record(key, elapsed, rowcount,
-                                    after[cell] - before[cell])
-        threshold = self.slow_query_ms
-        if threshold and elapsed * 1000.0 >= threshold:
-            self.slow_queries.record(key, elapsed * 1000.0, rowcount,
-                                     self.counter_delta(before, after))
-        audit = self.audit
-        if audit is not None:
-            cell = self._suppressed_cell
-            suppressed = after[cell] - before[cell]
-            if suppressed:
-                audit.record("rows_suppressed", statement=key,
-                             count=suppressed)
+        # ``before``/``after`` are this thread's own counter state, so
+        # the deltas are statement-exact even with concurrent sessions;
+        # the shared collectors are the only cross-thread state left.
+        with self._stats_lock:
+            if sql is not None and sql not in self._norm_keys \
+                    and len(self._norm_keys) < 4096:
+                self._norm_keys[sql] = key
+            cell = self._spill_bytes_cell
+            self.statement_stats.record(key, elapsed, rowcount,
+                                        after[cell] - before[cell])
+            threshold = self.slow_query_ms
+            if threshold and elapsed * 1000.0 >= threshold:
+                self.slow_queries.record(key, elapsed * 1000.0, rowcount,
+                                         self.counter_delta(before, after))
+            audit = self.audit
+            if audit is not None:
+                cell = self._suppressed_cell
+                suppressed = after[cell] - before[cell]
+                if suppressed:
+                    audit.record("rows_suppressed", statement=key,
+                                 count=suppressed)
 
     def _audit_denial(self, statement, sql: Optional[str], error) -> None:
         """Audit hook for write-rule / commit-label denials."""
@@ -794,7 +819,8 @@ class Database:
             return
         key = normalize_sql(sql) if sql is not None \
             else "<%s>" % type(statement).__name__
-        audit.record("write_denied", statement=key, error=str(error))
+        with self._stats_lock:
+            audit.record("write_denied", statement=key, error=str(error))
 
     def last_statement_metrics(self) -> Optional[Dict[str, object]]:
         """Named counter deltas (plus ``elapsed_ms``/``rows``) of the

@@ -17,8 +17,10 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..core.counters import CounterGroup
 
-class IndexCounters:
+
+class IndexCounters(CounterGroup):
     """Process-wide index-probe counters (diff before/after, like
     ``rules.COUNTERS``).  ``lookups`` counts equality probes
     (:meth:`HashIndex.lookup` / :meth:`OrderedIndex.lookup`),
@@ -27,19 +29,11 @@ class IndexCounters:
     distinct key per batch; the join microbenchmark diffs these
     counters to prove it.  Registered as the ``index`` group of the
     unified :data:`repro.db.metrics.REGISTRY` — prefer registry
-    scopes / per-statement deltas over hand-diffing this object."""
+    scopes / per-statement deltas over hand-diffing this object.
+    Accumulates per thread (:class:`~repro.core.counters.CounterGroup`);
+    ``snapshot()`` sums across threads."""
 
-    __slots__ = ("lookups", "range_scans")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.lookups = 0
-        self.range_scans = 0
-
-    def snapshot(self) -> dict:
-        return {"lookups": self.lookups, "range_scans": self.range_scans}
+    FIELDS = ("lookups", "range_scans")
 
 
 #: The module-wide counter instance (see :class:`IndexCounters`).

@@ -50,6 +50,7 @@ from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core import rules as _rules
+from ..core.counters import CounterGroup
 from . import indexes as _indexes
 from . import physical as _physical
 from . import spill as _spill
@@ -63,14 +64,35 @@ def compile_reader(cells: List[Tuple[object, str]]) -> Callable[[], tuple]:
     """Build a zero-argument function returning the counters as a flat
     tuple — one attribute load per counter, no loops or dict lookups,
     so a per-statement before/after pair costs a couple of
-    microseconds."""
+    microseconds.
+
+    :class:`~repro.core.counters.CounterGroup` owners are read through
+    the **calling thread's** state (hoisted once per call, then slot
+    loads), so the per-statement bracket sees exactly the executing
+    thread's own work — the delta-isolation fix for concurrent
+    statements.  Plain owners (the per-database buffer-cache stats)
+    keep the direct attribute load.
+    """
     namespace: Dict[str, object] = {}
     parts = []
+    prologue = []
+    hoisted: Dict[int, str] = {}
     for i, (obj, field) in enumerate(cells):
-        name = "g%d" % i
-        namespace[name] = obj
-        parts.append("%s.%s" % (name, field))
-    source = "def read():\n    return (%s%s)\n" % (
+        if isinstance(obj, CounterGroup):
+            state = hoisted.get(id(obj))
+            if state is None:
+                name = "g%d" % i
+                state = "s%d" % i
+                namespace[name] = obj
+                prologue.append("    %s = %s._local.state" % (state, name))
+                hoisted[id(obj)] = state
+            parts.append("%s.%s" % (state, field))
+        else:
+            name = "g%d" % i
+            namespace[name] = obj
+            parts.append("%s.%s" % (name, field))
+    source = "def read():\n%s    return (%s%s)\n" % (
+        "".join(line + "\n" for line in prologue),
         ", ".join(parts), "," if len(parts) == 1 else "")
     exec(source, namespace)
     return namespace["read"]
@@ -98,7 +120,8 @@ class MetricsRegistry:
                  fields: Optional[Tuple[str, ...]] = None) -> object:
         """Register (or re-register) a counter group under ``name``."""
         if fields is None:
-            fields = tuple(getattr(type(group), "__slots__", ()))
+            fields = tuple(getattr(type(group), "FIELDS", ())
+                           or getattr(type(group), "__slots__", ()))
         if not fields:
             raise ValueError("counter group %r has no fields" % name)
         if name not in self._groups:
@@ -123,32 +146,54 @@ class MetricsRegistry:
 
     # -- whole-registry operations --------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, int]]:
-        """Named nested snapshot ``{group: {field: value}}``."""
+        """Named nested snapshot ``{group: {field: value}}``.
+
+        Thread-aware groups report cross-thread **totals** (the
+        whole-process view ``Database.stats()`` and the benchmark
+        snapshots want); plain attribute reads on a group stay
+        thread-local (what the per-statement bracket wants)."""
         out: Dict[str, Dict[str, int]] = {}
         for name in self._order:
             group, fields = self._groups[name]
-            out[name] = {field: getattr(group, field) for field in fields}
+            if isinstance(group, CounterGroup):
+                totals = group.totals()
+                out[name] = {field: totals[field] for field in fields}
+            else:
+                out[name] = {field: getattr(group, field)
+                             for field in fields}
         return out
 
     def reset(self) -> None:
         for name in self._order:
             group, fields = self._groups[name]
+            if isinstance(group, CounterGroup):
+                group.reset()
+                continue
             for field in fields:
                 setattr(group, field, type(getattr(group, field))())
 
     def merge(self, snapshot: Dict[str, Dict[str, int]]) -> None:
         """Add a named snapshot into the live counters — the
-        coordinator half of the parallel-worker protocol: workers
-        accumulate privately, then their snapshots merge here."""
+        coordinator half of the worker protocol: workers accumulate
+        privately, then their snapshots merge here.  The merge lands
+        on the **calling thread's** state, so a statement that gathers
+        parallel workers sees their counts inside its own bracket.
+        High-water gauges (:attr:`CounterGroup.MAX_FIELDS`) combine
+        with ``max`` instead of ``+``."""
         for name, values in snapshot.items():
             entry = self._groups.get(name)
             if entry is None:
                 continue
             group, fields = entry
+            maxes = getattr(type(group), "MAX_FIELDS", ())
             for field in fields:
                 if field in values:
-                    setattr(group, field,
-                            getattr(group, field) + values[field])
+                    if field in maxes:
+                        if values[field] > getattr(group, field):
+                            setattr(group, field, values[field])
+                    else:
+                        setattr(group, field,
+                                getattr(group, field) + values[field])
 
     def read(self) -> tuple:
         """The counters as a flat tuple (compiled reader, cached until

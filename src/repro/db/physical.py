@@ -60,13 +60,14 @@ import heapq
 from itertools import chain, islice
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from ..core.counters import CounterGroup
 from ..core.labels import EMPTY_LABEL, Label
 from ..core.rules import COUNTERS as RULE_COUNTERS, covers, strip
 from ..errors import AuthorityError
 from .catalog import ViewDef
 from .spill import (AGG_STATE_BYTES, BUCKET_ENTRY_BYTES, GroupSpill,
                     MAX_RECURSION, SortRuns, SpilledHashBuild,
-                    estimate_row_bytes)
+                    _join_partition, estimate_row_bytes)
 from .storage import Table
 
 ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
@@ -77,7 +78,7 @@ ExecRow = Tuple[list, Label, Label]          # (values, label, ilabel)
 DEFAULT_BATCH_SIZE = 1024
 
 
-class ExecCounters:
+class ExecCounters(CounterGroup):
     """Process-wide executor counters, in the ``rules.COUNTERS`` mold
     (diff a snapshot around the work of interest).
 
@@ -91,18 +92,7 @@ class ExecCounters:
     cursor boundary.
     """
 
-    __slots__ = ("columns_materialized", "rows_widened")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.columns_materialized = 0
-        self.rows_widened = 0
-
-    def snapshot(self) -> dict:
-        return {"columns_materialized": self.columns_materialized,
-                "rows_widened": self.rows_widened}
+    FIELDS = ("columns_materialized", "rows_widened")
 
 
 #: The module-wide counter instance.
@@ -313,7 +303,7 @@ class ExecContext:
 
     __slots__ = ("session", "params", "outer_stack", "read_label",
                  "read_ilabel", "principal", "registry", "authority",
-                 "ifc_enabled", "work_mem")
+                 "ifc_enabled", "work_mem", "scan_range")
 
     def __init__(self, session, params: tuple, read_label: Label,
                  read_ilabel: Label, principal: Optional[int]):
@@ -331,6 +321,11 @@ class ExecContext:
         #: current ``work_mem`` — spilling is a runtime overflow
         #: reaction, not a plan property (the optimizer only *costs* it).
         self.work_mem = getattr(session.db, "work_mem", 0) or 0
+        #: Set inside a forked parallel worker: the half-open *chunk*
+        #: range ``(lo, hi)`` this worker's full scans must cover (see
+        #: ``Table.all_versions_batched``).  Also the "am I a worker?"
+        #: flag that keeps a worker from forking a nested gang.
+        self.scan_range: Optional[Tuple[int, int]] = None
 
     def now(self) -> float:
         return self.session.db.clock()
@@ -536,7 +531,10 @@ class Scan(Plan):
         if type(self)._candidates is Scan._candidates:
             # Full heap scan: let the table slice its version array
             # directly instead of chunking a per-version generator.
-            return self.table.all_versions_batched(size)
+            # Inside a parallel worker, take only this worker's
+            # contiguous chunk range — same boundaries as serial.
+            return self.table.all_versions_batched(
+                size, part=ctx.scan_range)
         return _chunked(self._candidates(ctx), size)
 
     def _check_predicate(self, predicate, version, label, ctx) -> bool:
@@ -1131,6 +1129,97 @@ class IndexLoopJoin(Plan):
                 yield lvalues + pad, llabel, lilabel
 
 
+class Gather(Plan):
+    """Exchange operator: run the child scan subtree on ``workers``
+    forked processes and merge their row streams.
+
+    The planner inserts this directly above a full heap scan it proved
+    **parallel-safe** (plain ``Scan`` access path, label-memo-only
+    predicate work, no declassifying views, no subqueries — see
+    ``Planner._parallelize``) and whose estimated candidate count
+    clears the optimizer's fan-out cost gate.  At execution time the
+    coordinator reads the heap length once, tiles the chunk domain
+    into contiguous ranges (``parallel.split_ranges``), and forks one
+    worker per range; each worker runs the *same* child subtree with
+    ``ctx.scan_range`` pinned to its range.  Chunk boundaries are
+    identical to the serial scan's, so the per-batch label memos — and
+    therefore the ``covers``/``strip`` counter totals merged back from
+    the workers — are plan-determined, not worker-count-determined.
+    Draining workers in range order makes the gathered stream exactly
+    the serial row order.
+
+    Degrades to a transparent pass-through whenever parallelism cannot
+    help or cannot run: row-at-a-time (naive) execution, a missing
+    ``fork``, a single-range heap, or already being inside a worker
+    (no nested gangs).
+    """
+
+    def __init__(self, child: Plan, workers: int):
+        self.child = child
+        self.workers = workers
+
+    def _base_scan(self) -> "Scan":
+        """The heap scan at the bottom of the gathered subtree (walks
+        through EXPLAIN ANALYZE's probe wrappers via ``inner``)."""
+        node = self.child
+        while not isinstance(node, Scan):
+            inner = getattr(node, "inner", None)
+            node = inner if inner is not None else node.child
+        return node
+
+    def _gang(self, ctx):
+        """Fork the gang; returns the merged row iterator, or None when
+        the heap splits into fewer than two ranges."""
+        from . import parallel
+        size = self.batch_size
+        nchunks = -(-self._base_scan().table.physical_slots // size)
+        ranges = parallel.split_ranges(0, nchunks, self.workers)
+        if len(ranges) < 2:
+            return None
+        child = self.child
+
+        def make(rng):
+            def task():
+                ctx.scan_range = rng      # the child's COW copy only
+                for batch in child.batches(ctx):
+                    yield from zip(batch.values, batch.labels,
+                                   batch.ilabels)
+            return task
+        return parallel.run_gang([make(rng) for rng in ranges])
+
+    def rows(self, ctx):
+        if self.batch_size:
+            yield from self._drain(ctx)
+            return
+        yield from self.child.rows(ctx)
+
+    def batches(self, ctx):
+        if not self.batch_size:
+            yield from Plan.batches(self, ctx)
+            return
+        from . import parallel
+        gang = None
+        if (self.workers >= 2 and parallel.FORK_AVAILABLE
+                and ctx.scan_range is None):
+            gang = self._gang(ctx)
+        if gang is None:
+            yield from self.child.batches(ctx)
+            return
+        size = self.batch_size
+        values: list = []
+        labels: list = []
+        ilabels: list = []
+        for v, label, ilabel in gang:
+            values.append(v)
+            labels.append(label)
+            ilabels.append(ilabel)
+            if len(values) >= size:
+                yield RowBatch(values, labels, ilabels)
+                values, labels, ilabels = [], [], []
+        if values:
+            yield RowBatch(values, labels, ilabels)
+
+
 class HashJoin(Plan):
     """Equi-join: hash the right side, probe with left rows.
 
@@ -1148,6 +1237,13 @@ class HashJoin(Plan):
     the statement runs (see ``_visible_versions``), so a spilled and an
     in-memory execution see exactly the same rows.
     """
+
+    #: Worker-pool size for the spilled partition phase (set by the
+    #: planner from ``Database(workers=…)``; 0/1 = serial).  Grace
+    #: partitions are key-disjoint, so each worker joins a contiguous
+    #: partition range independently; gathering in range order keeps
+    #: the serial output order.
+    workers: int = 0
 
     def __init__(self, left: Plan, right: Plan, left_key_fns: List[Callable],
                  right_key_fns: List[Callable], residual: Optional[Callable],
@@ -1186,23 +1282,29 @@ class HashJoin(Plan):
         else:
             def source():
                 return self.right.rows(ctx)
-        for row in source():
-            rvalues = row[0]
-            probe = pad_left + rvalues
-            key = tuple(fn(probe, ctx) for fn in right_key_fns)
-            if any(k is None for k in key):
-                continue
+        try:
+            for row in source():
+                rvalues = row[0]
+                probe = pad_left + rvalues
+                key = tuple(fn(probe, ctx) for fn in right_key_fns)
+                if any(k is None for k in key):
+                    continue
+                if spill is not None:
+                    spill.add_build(key, row)
+                    continue
+                setdefault(key, []).append(row)
+                if budget:
+                    mem += estimate_row_bytes(rvalues, row[1]) \
+                        + BUCKET_ENTRY_BYTES
+                    if mem > budget:
+                        spill = SpilledHashBuild(budget)
+                        spill.take_buckets(buckets)
+                        buckets = {}
+        except BaseException:
+            # The spill never reaches a caller who could close it.
             if spill is not None:
-                spill.add_build(key, row)
-                continue
-            setdefault(key, []).append(row)
-            if budget:
-                mem += estimate_row_bytes(rvalues, row[1]) \
-                    + BUCKET_ENTRY_BYTES
-                if mem > budget:
-                    spill = SpilledHashBuild(budget)
-                    spill.take_buckets(buckets)
-                    buckets = {}
+                spill.close()
+            raise
         return buckets, spill
 
     def _join_matches(self, lvalues, llabel, lilabel, matches, ctx, pad):
@@ -1219,12 +1321,52 @@ class HashJoin(Plan):
         if self.kind == "left" and not matched:
             yield lvalues + pad, llabel, lilabel
 
-    def _spilled_rows(self, ctx, spill):
-        """Partition phase: join every spooled probe row."""
+    def _partition_rows(self, ctx, spill, lo, hi):
+        """Joined output of partitions ``[lo, hi)`` — the per-partition
+        work unit, shared verbatim by the serial loop and the parallel
+        gang so counter totals cannot depend on the worker count."""
         pad = [None] * self.right_width
-        for (lvalues, llabel, lilabel), matches in spill.results():
-            yield from self._join_matches(lvalues, llabel, lilabel,
-                                          matches, ctx, pad)
+        for partition in spill.partitions[lo:hi]:
+            try:
+                for probe_row, matches in _join_partition(
+                        partition.build.rows(), partition.probe.rows(),
+                        spill.budget, spill.depth + 1):
+                    lvalues, llabel, lilabel = probe_row
+                    yield from self._join_matches(
+                        lvalues, llabel, lilabel, matches, ctx, pad)
+            finally:
+                partition.close()
+
+    def _spilled_rows(self, ctx, spill):
+        """Partition phase: join every spooled probe row.
+
+        With ``workers`` configured (and not already inside a worker),
+        the key-disjoint partitions fan out to a forked gang — each
+        child inherits the spool descriptors, reads only its range,
+        and ships joined rows back through the labeled-row codec.
+        """
+        start = 0
+        if spill.resident is not None:
+            # Resident probes were answered online; nothing spooled.
+            spill.partitions[0].close()
+            start = 1
+        total = len(spill.partitions)
+        if self.workers >= 2 and total - start >= 2 \
+                and ctx.scan_range is None:
+            from . import parallel
+            if parallel.FORK_AVAILABLE:
+                ranges = parallel.split_ranges(start, total,
+                                               self.workers)
+                yield from parallel.run_gang(
+                    [self._partition_task(ctx, spill, lo, hi)
+                     for lo, hi in ranges])
+                return
+        yield from self._partition_rows(ctx, spill, start, total)
+
+    def _partition_task(self, ctx, spill, lo, hi):
+        def task():
+            return self._partition_rows(ctx, spill, lo, hi)
+        return task
 
     def rows(self, ctx):
         if self.batch_size:
@@ -1233,23 +1375,30 @@ class HashJoin(Plan):
         buckets, spill = self._build(ctx)
         outer = self.kind == "left"
         pad = [None] * self.right_width
-        for lvalues, llabel, lilabel in self.left.rows(ctx):
-            probe = lvalues + pad
-            key = tuple(fn(probe, ctx) for fn in self.left_key_fns)
-            if any(k is None for k in key):
-                if outer:
-                    yield lvalues + pad, llabel, lilabel
-                continue
-            if spill is None:
-                matches = buckets.get(key, ())
-            else:
-                matches = spill.probe(key, (lvalues, llabel, lilabel))
-                if matches is None:
-                    continue          # spooled for the partition phase
-            yield from self._join_matches(lvalues, llabel, lilabel,
-                                          matches, ctx, pad)
-        if spill is not None:
-            yield from self._spilled_rows(ctx, spill)
+        try:
+            for lvalues, llabel, lilabel in self.left.rows(ctx):
+                probe = lvalues + pad
+                key = tuple(fn(probe, ctx) for fn in self.left_key_fns)
+                if any(k is None for k in key):
+                    if outer:
+                        yield lvalues + pad, llabel, lilabel
+                    continue
+                if spill is None:
+                    matches = buckets.get(key, ())
+                else:
+                    matches = spill.probe(key, (lvalues, llabel, lilabel))
+                    if matches is None:
+                        continue      # spooled for the partition phase
+                yield from self._join_matches(lvalues, llabel, lilabel,
+                                              matches, ctx, pad)
+            if spill is not None:
+                yield from self._spilled_rows(ctx, spill)
+        finally:
+            # A mid-iteration error (or an abandoned iterator) must not
+            # leak the partition spools' descriptors; close is
+            # idempotent, so the clean-exhaustion path pays nothing.
+            if spill is not None:
+                spill.close()
 
     def batches(self, ctx):
         if not self.batch_size:
@@ -1265,49 +1414,60 @@ class HashJoin(Plan):
         out_labels: list = []
         out_ilabels: list = []
         empty = ()
-        for batch in self.left.batches(ctx):
-            llabels = batch.labels
-            lilabels = batch.ilabels
-            for i, lvalues in enumerate(batch.values):
-                llabel = llabels[i]
-                lilabel = lilabels[i]
-                probe = lvalues + pad
-                key = tuple(fn(probe, ctx) for fn in left_key_fns)
-                matched = False
-                if not any(k is None for k in key):
-                    if spill is None:
-                        matches = buckets.get(key, empty)
-                    else:
-                        matches = spill.probe(key, (lvalues, llabel,
-                                                    lilabel))
-                        if matches is None:
-                            continue  # spooled for the partition phase
-                    # Mirrors _join_matches, inlined: this loop appends
-                    # straight into the output batch on the hot path.
-                    for rvalues, rlabel, rilabel in matches:
-                        combined = lvalues + rvalues
-                        if residual is not None \
-                                and not residual(combined, ctx):
-                            continue
-                        matched = True
-                        out_values.append(combined)
-                        out_labels.append(llabel.union(rlabel))
-                        out_ilabels.append(lilabel.union(rilabel))
-                if outer and not matched:
-                    out_values.append(lvalues + pad)
-                    out_labels.append(llabel)
-                    out_ilabels.append(lilabel)
-                if len(out_values) >= size:
-                    yield RowBatch(out_values, out_labels, out_ilabels)
-                    out_values, out_labels, out_ilabels = [], [], []
-        if spill is not None:
-            for values, label, ilabel in self._spilled_rows(ctx, spill):
-                out_values.append(values)
-                out_labels.append(label)
-                out_ilabels.append(ilabel)
-                if len(out_values) >= size:
-                    yield RowBatch(out_values, out_labels, out_ilabels)
-                    out_values, out_labels, out_ilabels = [], [], []
+        try:
+            for batch in self.left.batches(ctx):
+                llabels = batch.labels
+                lilabels = batch.ilabels
+                for i, lvalues in enumerate(batch.values):
+                    llabel = llabels[i]
+                    lilabel = lilabels[i]
+                    probe = lvalues + pad
+                    key = tuple(fn(probe, ctx) for fn in left_key_fns)
+                    matched = False
+                    if not any(k is None for k in key):
+                        if spill is None:
+                            matches = buckets.get(key, empty)
+                        else:
+                            matches = spill.probe(key, (lvalues, llabel,
+                                                        lilabel))
+                            if matches is None:
+                                # Spooled for the partition phase.
+                                continue
+                        # Mirrors _join_matches, inlined: this loop
+                        # appends straight into the output batch on the
+                        # hot path.
+                        for rvalues, rlabel, rilabel in matches:
+                            combined = lvalues + rvalues
+                            if residual is not None \
+                                    and not residual(combined, ctx):
+                                continue
+                            matched = True
+                            out_values.append(combined)
+                            out_labels.append(llabel.union(rlabel))
+                            out_ilabels.append(lilabel.union(rilabel))
+                    if outer and not matched:
+                        out_values.append(lvalues + pad)
+                        out_labels.append(llabel)
+                        out_ilabels.append(lilabel)
+                    if len(out_values) >= size:
+                        yield RowBatch(out_values, out_labels,
+                                       out_ilabels)
+                        out_values, out_labels, out_ilabels = [], [], []
+            if spill is not None:
+                for values, label, ilabel in self._spilled_rows(ctx,
+                                                                spill):
+                    out_values.append(values)
+                    out_labels.append(label)
+                    out_ilabels.append(ilabel)
+                    if len(out_values) >= size:
+                        yield RowBatch(out_values, out_labels,
+                                       out_ilabels)
+                        out_values, out_labels, out_ilabels = [], [], []
+        finally:
+            # Mid-iteration error or abandoned iterator: release the
+            # partition spools deterministically (close is idempotent).
+            if spill is not None:
+                spill.close()
         if out_values:
             yield RowBatch(out_values, out_labels, out_ilabels)
 
@@ -1391,6 +1551,12 @@ class AggregateNode(Plan):
     node.  Global aggregates never spill: their state is one row.
     """
 
+    #: Worker-pool size for the grace-partition phase (set by the
+    #: planner; 0/1 = serial).  Spilled partitions are key-disjoint, so
+    #: a worker folds and finalizes its partition range completely —
+    #: no cross-worker combine step is ever needed.
+    workers: int = 0
+
     def __init__(self, child: Plan, group_fns: List[Callable],
                  specs: List[AggSpec], global_agg: bool):
         self.child = child
@@ -1410,43 +1576,80 @@ class AggregateNode(Plan):
         entry_bytes = AGG_STATE_BYTES * len(specs) + BUCKET_ENTRY_BYTES
         spill = None
         mem = 0
-        for key, (values, label, ilabel) in source:
-            states = groups.get(key)
-            if states is None:
-                if spill is None and budget:
-                    cost = estimate_row_bytes(key) + entry_bytes
-                    if (mem + cost > budget and order
-                            and depth < MAX_RECURSION):
-                        spill = GroupSpill(salt=depth, depth=depth)
-                    else:
-                        mem += cost
-                if spill is not None:
-                    spill.add(key, (values, label, ilabel))
-                    continue
-                states = [_AggState(s.func, s.distinct) for s in specs]
-                groups[key] = states
-                labels[key] = label
-                ilabels[key] = ilabel
-                order.append(key)
-            else:
-                labels[key] = labels[key].union(label)
-                ilabels[key] = ilabels[key].union(ilabel)
-            for spec, state in zip(specs, states):
-                if spec.arg_fn is None:
-                    state.add(_STAR)
+        try:
+            for key, (values, label, ilabel) in source:
+                states = groups.get(key)
+                if states is None:
+                    if spill is None and budget:
+                        cost = estimate_row_bytes(key) + entry_bytes
+                        if (mem + cost > budget and order
+                                and depth < MAX_RECURSION):
+                            spill = GroupSpill(salt=depth, depth=depth)
+                        else:
+                            mem += cost
+                    if spill is not None:
+                        spill.add(key, (values, label, ilabel))
+                        continue
+                    states = [_AggState(s.func, s.distinct) for s in specs]
+                    groups[key] = states
+                    labels[key] = label
+                    ilabels[key] = ilabel
+                    order.append(key)
                 else:
-                    state.add(spec.arg_fn(values, ctx))
-        if not groups and self.global_agg:
-            states = [_AggState(s.func, s.distinct) for s in specs]
-            yield ([] + [s.result() for s in states], EMPTY_LABEL,
-                   EMPTY_LABEL)
-            return
-        for key in order:
-            yield (list(key) + [s.result() for s in groups[key]],
-                   labels[key], ilabels[key])
-        if spill is not None:
-            for partition in spill.partitions():
-                yield from self._fold(ctx, partition, depth + 1)
+                    labels[key] = labels[key].union(label)
+                    ilabels[key] = ilabels[key].union(ilabel)
+                for spec, state in zip(specs, states):
+                    if spec.arg_fn is None:
+                        state.add(_STAR)
+                    else:
+                        state.add(spec.arg_fn(values, ctx))
+            if not groups and self.global_agg:
+                states = [_AggState(s.func, s.distinct) for s in specs]
+                yield ([] + [s.result() for s in states], EMPTY_LABEL,
+                       EMPTY_LABEL)
+                return
+            for key in order:
+                yield (list(key) + [s.result() for s in groups[key]],
+                       labels[key], ilabels[key])
+            if spill is not None:
+                yield from self._spilled_groups(ctx, spill, depth)
+        finally:
+            # An accumulator TypeError (or an abandoned iterator) must
+            # not leak the partition spools; close is idempotent.
+            if spill is not None:
+                spill.close()
+
+    def _partition_rows(self, ctx, spill, lo, hi, depth):
+        """Finalized result rows of spill partitions ``[lo, hi)`` — the
+        per-partition work unit shared by the serial loop and the
+        parallel gang (identical code, identical counters)."""
+        for spool in spill.spools[lo:hi]:
+            if spool.count:
+                yield from self._fold(ctx, spool.rows(), depth + 1)
+            else:
+                spool.close()
+
+    def _spilled_groups(self, ctx, spill, depth):
+        """Drain the grace partitions, fanning out to a forked gang
+        when workers are configured (top level only — recursive
+        re-spills stay inside their worker)."""
+        total = len(spill.spools)
+        if depth == 0 and self.workers >= 2 \
+                and sum(1 for s in spill.spools if s.count) >= 2 \
+                and ctx.scan_range is None:
+            from . import parallel
+            if parallel.FORK_AVAILABLE:
+                ranges = parallel.split_ranges(0, total, self.workers)
+                yield from parallel.run_gang(
+                    [self._group_task(ctx, spill, lo, hi, depth)
+                     for lo, hi in ranges])
+                return
+        yield from self._partition_rows(ctx, spill, 0, total, depth)
+
+    def _group_task(self, ctx, spill, lo, hi, depth):
+        def task():
+            return self._partition_rows(ctx, spill, lo, hi, depth)
+        return task
 
     def _grouped(self, ctx):
         group_fns = self.group_fns
@@ -1633,25 +1836,41 @@ class Sort(Plan):
         mem = 0
         runs = None
         mixed = False
-        for row in (source if source is not None else self._input(ctx)):
-            chunk.append(row)
-            if budget:
-                mem += estimate_row_bytes(row[0], row[1])
-                if mem > budget:
-                    chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
-                    if runs is None:
-                        runs = SortRuns()
-                    runs.spool(chunk)
-                    chunk = []
-                    mem = 0
-        chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
+        try:
+            for row in (source if source is not None
+                        else self._input(ctx)):
+                chunk.append(row)
+                if budget:
+                    mem += estimate_row_bytes(row[0], row[1])
+                    if mem > budget:
+                        chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
+                        if runs is None:
+                            runs = SortRuns()
+                        runs.spool(chunk)
+                        chunk = []
+                        mem = 0
+            chunk, mixed = self._sort_chunk(chunk, ctx, mixed)
+        except BaseException:
+            # The runs never reach the merge that would close them.
+            if runs is not None:
+                runs.close()
+            raise
         if runs is None:
             return chunk
         if chunk:
             runs.spool(chunk)
         key = self._key(ctx, True)
-        return heapq.merge(*(run.labeled_rows() for run in runs.runs),
-                           key=lambda row: key(row[0]))
+
+        def merged():
+            try:
+                yield from heapq.merge(
+                    *(run.labeled_rows() for run in runs.runs),
+                    key=lambda row: key(row[0]))
+            finally:
+                # A consumer that stops early (LIMIT above the sort) or
+                # dies mid-merge must not leak the run descriptors.
+                runs.close()
+        return merged()
 
     def _result(self, ctx):
         return self._sorted(ctx)
@@ -1757,35 +1976,44 @@ class Distinct(Plan):
         order: List[tuple] = []
         spill = None
         mem = 0
-        for seq, key, (values, label, ilabel) in source:
-            held = labels.get(key)
-            if held is not None:
-                labels[key] = held.union(label)
-                ilabels[key] = ilabels[key].union(ilabel)
-                continue
-            if spill is None and budget:
-                cost = estimate_row_bytes(values, label) + BUCKET_ENTRY_BYTES
-                if mem + cost > budget and order and depth < MAX_RECURSION:
-                    spill = GroupSpill(salt=depth, depth=depth)
-                else:
-                    mem += cost
+        try:
+            for seq, key, (values, label, ilabel) in source:
+                held = labels.get(key)
+                if held is not None:
+                    labels[key] = held.union(label)
+                    ilabels[key] = ilabels[key].union(ilabel)
+                    continue
+                if spill is None and budget:
+                    cost = estimate_row_bytes(values, label) \
+                        + BUCKET_ENTRY_BYTES
+                    if (mem + cost > budget and order
+                            and depth < MAX_RECURSION):
+                        spill = GroupSpill(salt=depth, depth=depth)
+                    else:
+                        mem += cost
+                if spill is not None:
+                    # The seq rides in the spooled values (slot 0) so
+                    # the labeled-row codec needs no side channel.
+                    spill.add(key, ([seq] + values, label, ilabel))
+                    continue
+                rows_of[key] = (seq, values)
+                labels[key] = label
+                ilabels[key] = ilabel
+                order.append(key)
+            streams = []
             if spill is not None:
-                # The seq rides in the spooled values (slot 0) so the
-                # labeled-row codec needs no side channel.
-                spill.add(key, ([seq] + values, label, ilabel))
-                continue
-            rows_of[key] = (seq, values)
-            labels[key] = label
-            ilabels[key] = ilabel
-            order.append(key)
-        streams = []
-        if spill is not None:
-            streams = [self._fold(ctx, _unspool_seq(partition), depth + 1)
-                       for partition in spill.partitions()]
-        for key in order:
-            seq, values = rows_of[key]
-            yield seq, values, labels[key], ilabels[key]
-        yield from heapq.merge(*streams, key=lambda item: item[0])
+                streams = [self._fold(ctx, _unspool_seq(partition),
+                                      depth + 1)
+                           for partition in spill.partitions()]
+            for key in order:
+                seq, values = rows_of[key]
+                yield seq, values, labels[key], ilabels[key]
+            yield from heapq.merge(*streams, key=lambda item: item[0])
+        finally:
+            # Mid-fold error or abandoned iterator: release the
+            # partition spools deterministically (close is idempotent).
+            if spill is not None:
+                spill.close()
 
     def _distinct(self, ctx):
         def keyed():
@@ -1966,6 +2194,12 @@ def _explain_line(plan: Plan) -> str:
     # Memory estimates for materializing operators: expected grace
     # partitions (0 omitted — the build fits work_mem) and the peak
     # resident bytes (per-partition share when spilling).
+    # Parallel fan-out: the Gather exchange operator always carries
+    # it; joins/aggregates advertise the pool their grace-partition
+    # phase would use if they spill.
+    workers = getattr(plan, "workers", 0)
+    if workers >= 2:
+        line += "  workers=%d" % workers
     if plan.est_spill_partitions:
         line += "  spill_partitions=%d" % plan.est_spill_partitions
     # External-sort runs the optimizer expects to spool (0 omitted —

@@ -40,6 +40,7 @@ import pickle
 import tempfile
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..core.counters import CounterGroup
 from ..core.labels import Label
 
 #: Partitions per spill level (the grace-join fanout).
@@ -60,7 +61,7 @@ BUCKET_ENTRY_BYTES = 96
 AGG_STATE_BYTES = 120
 
 
-class SpillStats:
+class SpillStats(CounterGroup):
     """Process-wide spill counters (diff before/after, like
     ``rules.COUNTERS``).  ``spills`` counts top-level build-side
     overflow events (one per join that spilled, however deep the
@@ -77,34 +78,9 @@ class SpillStats:
     the per-statement stats (``Database.stats()["statements"]``) and
     EXPLAIN ANALYZE's ``spill_*`` columns."""
 
-    __slots__ = ("spills", "partitions_created", "repartitions",
-                 "rows_spilled", "bytes_spilled", "sort_spills",
-                 "sort_runs", "agg_spills", "agg_partitions")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.spills = 0
-        self.partitions_created = 0
-        self.repartitions = 0
-        self.rows_spilled = 0
-        self.bytes_spilled = 0
-        self.sort_spills = 0
-        self.sort_runs = 0
-        self.agg_spills = 0
-        self.agg_partitions = 0
-
-    def snapshot(self) -> dict:
-        return {"spills": self.spills,
-                "partitions_created": self.partitions_created,
-                "repartitions": self.repartitions,
-                "rows_spilled": self.rows_spilled,
-                "bytes_spilled": self.bytes_spilled,
-                "sort_spills": self.sort_spills,
-                "sort_runs": self.sort_runs,
-                "agg_spills": self.agg_spills,
-                "agg_partitions": self.agg_partitions}
+    FIELDS = ("spills", "partitions_created", "repartitions",
+              "rows_spilled", "bytes_spilled", "sort_spills",
+              "sort_runs", "agg_spills", "agg_partitions")
 
 
 #: The module-wide counter instance.
@@ -255,6 +231,10 @@ class _Partition:
         self.build = SpillFile()
         self.probe = SpillFile()
 
+    def close(self) -> None:
+        self.build.close()
+        self.probe.close()
+
 
 class SpilledHashBuild:
     """Partitioned overflow state for one hash-join build side.
@@ -345,16 +325,30 @@ class SpilledHashBuild:
     # -- partition phase ------------------------------------------------
     def results(self) -> Iterator[Tuple[object, list]]:
         """Yield ``(probe_row, build_matches)`` for every spooled probe
-        row, re-partitioning build sides that still exceed the budget."""
+        row, re-partitioning build sides that still exceed the budget.
+
+        Each partition's spools close as soon as that partition is
+        done *or dies* (the inner ``finally``); consumers should still
+        call :meth:`close` in their own ``finally`` — it is idempotent
+        — so an exception raised between partitions, or an abandoned
+        iterator, cannot leak the remaining descriptors.
+        """
         for index, partition in enumerate(self.partitions):
             if index == 0 and self.resident is not None:
                 # Resident probes were answered online; nothing spooled.
-                partition.build.close()
-                partition.probe.close()
+                partition.close()
                 continue
-            yield from _join_partition(partition.build.rows(),
-                                       partition.probe.rows(),
-                                       self.budget, self.depth + 1)
+            try:
+                yield from _join_partition(partition.build.rows(),
+                                           partition.probe.rows(),
+                                           self.budget, self.depth + 1)
+            finally:
+                partition.close()
+
+    def close(self) -> None:
+        """Release every partition's temp files (idempotent)."""
+        for partition in self.partitions:
+            partition.close()
 
 
 def _join_partition(build_records, probe_records, budget: int,
@@ -388,9 +382,12 @@ def _join_partition(build_records, probe_records, budget: int,
         for key, row in probe_records:
             yield row, buckets.get(key, empty)
         return
-    for key, row in probe_records:
-        child.spool_probe(key, row)
-    yield from child.results()
+    try:
+        for key, row in probe_records:
+            child.spool_probe(key, row)
+        yield from child.results()
+    finally:
+        child.close()
 
 
 class SortRuns:
@@ -418,6 +415,13 @@ class SortRuns:
             spool.write_labeled(row)
         self.runs.append(spool)
         SPILL_STATS.sort_runs += 1
+
+    def close(self) -> None:
+        """Release every run's temp file (idempotent); the merge phase
+        calls this in a ``finally`` so a comparison TypeError mid-merge
+        cannot leak the remaining run descriptors."""
+        for run in self.runs:
+            run.close()
 
 
 class GroupSpill:
@@ -461,6 +465,13 @@ class GroupSpill:
                 yield spool.rows()
             else:
                 spool.close()
+
+    def close(self) -> None:
+        """Release every spool's temp file (idempotent); consumers call
+        this in a ``finally`` so a mid-aggregation error cannot leak
+        the unread partitions' descriptors."""
+        for spool in self.spools:
+            spool.close()
 
 
 def estimate_spill_plan(build_bytes: float, work_mem: int,

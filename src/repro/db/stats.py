@@ -37,10 +37,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..core.counters import CounterGroup
 from .spill import estimate_value_bytes
 
 
-class StatsCounters:
+class StatsCounters(CounterGroup):
     """Process-wide statistics-subsystem counters (registered as the
     ``stats`` group of :data:`repro.db.metrics.REGISTRY`; diff
     before/after like the other families).  ``tables_collected`` counts
@@ -51,18 +52,7 @@ class StatsCounters:
     excludes this group from per-operator attribution (a sweep fires
     during planning, outside any operator)."""
 
-    __slots__ = ("tables_collected", "drift_refreshes")
-
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.tables_collected = 0
-        self.drift_refreshes = 0
-
-    def snapshot(self) -> dict:
-        return {"tables_collected": self.tables_collected,
-                "drift_refreshes": self.drift_refreshes}
+    FIELDS = ("tables_collected", "drift_refreshes")
 
 
 #: The module-wide counter instance (see :class:`StatsCounters`).

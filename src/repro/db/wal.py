@@ -68,6 +68,7 @@ import time
 import zlib
 from typing import Dict, List, Optional, Tuple
 
+from ..core.counters import CounterGroup
 from ..core.labels import Label
 from ..errors import DatabaseError
 from .faultinject import CrashError, FaultSpec, FaultyFile
@@ -84,31 +85,26 @@ class WalError(DatabaseError):
     """The WAL could not make a record durable; the commit is refused."""
 
 
-class WalStats:
+class WalStats(CounterGroup):
     """Process-wide WAL counters, registered as the ``wal`` group of
     the unified :data:`repro.db.metrics.REGISTRY` (so they surface in
     ``Database.stats()``, per-statement deltas, and EXPLAIN ANALYZE's
     statement-total line).  ``group_commit_size`` is a high-water mark
     (largest number of commits absorbed by one flush), not an additive
-    counter."""
+    counter — cross-thread totals max-combine it.  Increments land on
+    whichever thread led the flush; ``snapshot()`` sums across threads
+    (:class:`~repro.core.counters.CounterGroup`), which is what the
+    threaded group-commit tests read via ``Database.stats()``.
 
-    __slots__ = ("records", "bytes", "flushes", "fsyncs", "commits",
-                 "commit_flushes", "group_commit_size")
+    Fields: ``records`` (records appended, commit + ddl), ``bytes``
+    (record bytes written incl. headers), ``flushes`` (successful
+    flush batches), ``fsyncs``, ``commits`` (commit records made
+    durable), ``commit_flushes`` (flushes covering >= 1 commit), and
+    the ``group_commit_size`` gauge."""
 
-    def __init__(self):
-        self.reset()
-
-    def reset(self) -> None:
-        self.records = 0          # records appended (commit + ddl)
-        self.bytes = 0            # record bytes written (incl. headers)
-        self.flushes = 0          # successful flush batches
-        self.fsyncs = 0           # successful fsync calls
-        self.commits = 0          # commit records made durable
-        self.commit_flushes = 0   # flushes that covered >= 1 commit
-        self.group_commit_size = 0  # max commits in one flush (gauge)
-
-    def snapshot(self) -> dict:
-        return {field: getattr(self, field) for field in self.__slots__}
+    FIELDS = ("records", "bytes", "flushes", "fsyncs", "commits",
+              "commit_flushes", "group_commit_size")
+    MAX_FIELDS = ("group_commit_size",)
 
 
 #: The module-wide counter instance.

@@ -21,7 +21,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
 SCRIPTS = sorted(os.path.basename(p)
                  for pattern in ("bench_fig*.py", "bench_projection.py",
-                                 "bench_sort_spill.py", "bench_wal.py")
+                                 "bench_sort_spill.py", "bench_wal.py",
+                                 "bench_parallel.py")
                  for p in glob.glob(os.path.join(BENCH_DIR, pattern)))
 
 

@@ -74,10 +74,12 @@ class Universe:
     ``REPRO_BATCH_SIZE`` environment override.
     """
 
-    def __init__(self, *, naive: bool, batch_size=None, work_mem=None):
+    def __init__(self, *, naive: bool, batch_size=None, work_mem=None,
+                 workers=None):
         authority = AuthorityState(idgen=SeededIdGenerator(777))
         self.db = Database(authority, naive_plans=naive, seed=777,
-                           batch_size=batch_size, work_mem=work_mem)
+                           batch_size=batch_size, work_mem=work_mem,
+                           workers=workers)
         owner = authority.create_principal("owner")
         self.tag = authority.create_tag("diff-secret", owner=owner.id)
         secret = IFCProcess(authority, owner.id)
@@ -360,12 +362,13 @@ def _plan_shapes(db) -> set:
 
 def _run_differential(seed: int, n_statements: int,
                       batch_size=None, work_mem=None,
-                      require_spill: bool = False) -> None:
+                      require_spill: bool = False,
+                      workers=None) -> None:
     tag = "[REPRO_DIFF_SEED=%d]" % seed
     rng = random.Random(seed)
     gen = StatementGenerator(rng)
     optimized = Universe(naive=False, batch_size=batch_size,
-                         work_mem=work_mem)
+                         work_mem=work_mem, workers=workers)
     reference = Universe(naive=True, work_mem=0)
     universes = (optimized, reference)
     _populate(universes, gen)
@@ -397,6 +400,14 @@ def _run_differential(seed: int, n_statements: int,
     # never have strayed from full scans.
     assert optimized_shapes & {IndexScan, IndexRangeScan}, optimized_shapes
     assert reference_shapes <= {Scan}, reference_shapes
+    # The workers legs must genuinely have planned parallel scans, or
+    # the matrix quietly degraded to serial-vs-naive and proved
+    # nothing about the gang.
+    if workers and workers >= 2:
+        plan = optimized.sessions["public"].execute(
+            "EXPLAIN SELECT * FROM readings")
+        assert any("Gather" in row[0] for row in plan), \
+            "%s workers=%d planned no Gather" % (tag, workers)
     # Under a tight budget the run must actually have exercised the
     # grace-spill machinery — hash joins, external sorts, AND grace
     # aggregation/distinct — or the work_mem matrix proves nothing.
@@ -431,6 +442,31 @@ def test_differential_batch_size_two():
     """Two-row batches: the smallest size where a batch can actually
     mix labels, visibilities, and predicate outcomes."""
     _run_differential(SEED ^ 0xBA7C2, 150, batch_size=2)
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_differential_workers(workers, monkeypatch):
+    """The parallel-execution matrix leg: the same adversarial stream
+    with multi-core scans and per-partition join/aggregate gangs
+    enabled.  ``batch_size=32`` keeps the ~250-row tables wide enough
+    (several chunks) that the Gather really forks rather than
+    degrading to pass-through, and the low ``REPRO_PARALLEL_MIN_ROWS``
+    floor lets the optimizer parallelize test-sized tables.  Workers
+    may move label checks and suppression decisions into child
+    processes; rows, labels, rowcounts, and error types must still
+    match the naive serial reference statement-for-statement."""
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "32")
+    _run_differential(SEED ^ 0x70C5 ^ workers, 150,
+                      batch_size=32, workers=workers)
+
+
+def test_differential_workers_spilled(monkeypatch):
+    """Parallel grace partitions under a tight budget: spilled hash
+    joins and aggregates fan their partitions out to the gang while
+    the naive reference replays everything serially in memory."""
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_ROWS", "32")
+    _run_differential(SEED ^ 0x70C5 ^ 0x53A1, 120, batch_size=32,
+                      work_mem=1024, workers=2, require_spill=True)
 
 
 @pytest.mark.parametrize("work_mem,batch_size", [

@@ -257,3 +257,74 @@ def test_audit_off_by_default_and_capacity_bounded():
         public2.execute("SELECT * FROM t")
     assert len(db2.audit.events) == 2          # ring buffer capacity
     assert db2.audit.total == 5                # but every event counted
+
+
+# ---------------------------------------------------------------------------
+# concurrency: per-statement brackets must not cross-contaminate
+# ---------------------------------------------------------------------------
+
+def test_statement_metrics_isolated_across_threads():
+    """Regression: the per-statement bracket reads the process-wide
+    counter singletons — before counters became thread-aware, two
+    sessions executing concurrently attributed each other's work to
+    the wrong statement (wrong ``last_statement_metrics``, wrong
+    StatementStats rows, wrong slow-query counters).
+
+    Two threads run barrier-synced statements with *different*,
+    exactly known per-statement covers counts (different batch sizes
+    → different chunk counts → different per-batch label-memo probes).
+    Every single delta must be exact — any bleed from the other
+    thread's concurrent statement shows up as a wrong count.
+    """
+    import threading
+
+    iterations = 25
+    barrier = threading.Barrier(2)
+    failures: list = []
+
+    def worker(seed, rows, batch_size, expected_covers):
+        try:
+            authority = AuthorityState(idgen=SeededIdGenerator(seed))
+            db = Database(authority, seed=seed, batch_size=batch_size,
+                          slow_query_ms=1e-9)
+            owner = authority.create_principal("o%d" % seed)
+            session = db.connect(IFCProcess(authority, owner.id))
+            session.execute(
+                "CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+            for i in range(rows):
+                session.execute("INSERT INTO t VALUES (?, ?)", (i, i))
+            for _ in range(iterations):
+                barrier.wait()
+                session.execute("SELECT x FROM t")
+                delta = db.last_statement_metrics()
+                assert delta["rows"] == rows
+                # One covers per (batch, distinct label): all rows are
+                # public, so exactly one memo probe per chunk.
+                assert delta["labels"]["covers_calls"] \
+                    == expected_covers, delta["labels"]
+                assert delta["labels"]["rows_suppressed"] == 0
+            # The slow-query log (threshold 1e-9: every statement
+            # records) captured the same exact deltas.
+            selects = [e for e in db.stats()["slow_queries"]
+                       if e["statement"] == "SELECT x FROM t"]
+            assert len(selects) == iterations
+            for entry in selects:
+                assert entry["counters"]["labels"]["covers_calls"] \
+                    == expected_covers
+            agg = db.stats()["statements"]["SELECT x FROM t"]
+            assert agg["calls"] == iterations
+            assert agg["rows"] == rows * iterations
+        except BaseException as exc:      # noqa: BLE001 — re-raised
+            failures.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(9101, 96, 32, 3)),
+        threading.Thread(target=worker, args=(9102, 208, 16, 13)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    if failures:
+        raise failures[0]

@@ -23,7 +23,10 @@ that must hold for *all* of them —
 
 from __future__ import annotations
 
+import os
 import random
+
+import pytest
 
 from repro.core import AuthorityState, IFCProcess, SeededIdGenerator
 from repro.core.labels import EMPTY_LABEL, Label
@@ -353,3 +356,81 @@ def test_spilled_hash_join_sees_statement_snapshot():
         assert not any(pid >= 9000 or k >= 9000
                        for pid, k in results[label]), label
     assert results["spilled"] == results["in-memory"]
+
+def _open_fds() -> int:
+    """Number of open file descriptors in this process."""
+    return len(os.listdir("/proc/self/fd"))
+
+
+def test_mid_join_error_releases_spill_descriptors():
+    """Regression: a spilled join's partition spools used to close only
+    on clean exhaustion — an error raised while the join was mid-output
+    (a downstream expression blowing up, a client disconnect) leaked
+    every partition's TemporaryFile descriptor.  The operator-level
+    ``finally`` must now release them the moment the error unwinds."""
+    db, session = _stack(2048, batch_size=16)
+    session.begin()
+    prepared = db.prepare_select(db.parse(JOIN_SQL), JOIN_SQL)
+    ctx = session._context(())
+    baseline = _open_fds()
+    batches = prepared.plan.batches(ctx)
+    next(batches)            # build spilled, probe underway
+    assert _open_fds() > baseline      # the spools are genuinely open
+    with pytest.raises(RuntimeError, match="boom"):
+        batches.throw(RuntimeError("boom"))
+    assert _open_fds() == baseline
+    session.rollback()
+
+
+def test_abandoned_spilled_join_iterator_releases_descriptors():
+    """Closing (abandoning) a suspended spilled-join iterator — what a
+    LIMIT above the join, or a cursor dropped mid-fetch, does — must
+    release the partition spools, not wait for garbage collection."""
+    db, session = _stack(2048, batch_size=16)
+    session.begin()
+    prepared = db.prepare_select(db.parse(JOIN_SQL), JOIN_SQL)
+    ctx = session._context(())
+    baseline = _open_fds()
+    batches = prepared.plan.batches(ctx)
+    next(batches)
+    assert _open_fds() > baseline
+    batches.close()
+    assert _open_fds() == baseline
+    session.rollback()
+
+
+def test_mid_aggregate_error_releases_group_spill_descriptors():
+    """Same contract for grace-spilled aggregation: an error while the
+    fold is emitting resident groups (partitions still spooled) must
+    close every GroupSpill spool."""
+    db, session = _stack(1024, batch_size=4)
+    sql = "SELECT g, COUNT(*) FROM fact GROUP BY g"
+    session.begin()
+    prepared = db.prepare_select(db.parse(sql), sql)
+    ctx = session._context(())
+    baseline = _open_fds()
+    batches = prepared.plan.batches(ctx)
+    next(batches)            # fold done, resident groups emitting
+    assert _open_fds() > baseline
+    with pytest.raises(RuntimeError, match="boom"):
+        batches.throw(RuntimeError("boom"))
+    assert _open_fds() == baseline
+    session.rollback()
+
+
+def test_mid_sort_error_releases_run_descriptors():
+    """And for external sort: killing the merge mid-stream must close
+    every spooled run."""
+    db, session = _stack(1024, batch_size=4)
+    sql = "SELECT k, t FROM fact ORDER BY t"
+    session.begin()
+    prepared = db.prepare_select(db.parse(sql), sql)
+    ctx = session._context(())
+    baseline = _open_fds()
+    batches = prepared.plan.batches(ctx)
+    next(batches)            # runs spooled, merge underway
+    assert _open_fds() > baseline
+    with pytest.raises(RuntimeError, match="boom"):
+        batches.throw(RuntimeError("boom"))
+    assert _open_fds() == baseline
+    session.rollback()
